@@ -1,0 +1,40 @@
+//! # hetgraph-apps
+//!
+//! The paper's four MLDM applications as GAS vertex programs (Section IV),
+//! plus two extensions, plus sequential reference implementations used to
+//! validate the engine end-to-end.
+//!
+//! | App | Module | Character (ground-truth profile) |
+//! |---|---|---|
+//! | PageRank | [`pagerank`] | memory-bound, saturates on big machines |
+//! | Coloring | [`coloring`] | balanced, async-flavoured convergence |
+//! | Connected Components | [`connected_components`] | balanced, near-linear scaling |
+//! | Triangle Count | [`triangle_count`] | compute-bound, sharp top-end scaling |
+//! | SSSP (extension) | [`sssp`] | frontier-driven, bursty supersteps |
+//! | k-core (extension) | [`kcore`] | peeling, shrinking active set |
+//!
+//! The per-application hardware profiles (flops/bytes per work unit,
+//! serial fraction, parallel exponent) are **calibrated ground truth** for
+//! the simulated testbed: they reproduce the paper's Fig 2 scaling shapes.
+//! They are invisible to scheduling policies — the proxy-profiling flow
+//! only ever observes simulated *times*.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coloring;
+pub mod connected_components;
+pub mod kcore;
+pub mod pagerank;
+pub mod reference;
+pub mod sssp;
+pub mod standard;
+pub mod triangle_count;
+
+pub use coloring::Coloring;
+pub use connected_components::ConnectedComponents;
+pub use kcore::KCore;
+pub use pagerank::PageRank;
+pub use sssp::Sssp;
+pub use standard::{standard_apps, StandardApp};
+pub use triangle_count::TriangleCount;

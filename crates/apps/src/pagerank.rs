@@ -1,0 +1,191 @@
+//! PageRank (paper Eq. 8).
+//!
+//! `PR(u) = (1 − d)/N + d · Σ_{v ∈ B_u} PR(v) / L(v)` with damping
+//! `d = 0.85`. Gather runs over in-edges (pull), apply mixes in the
+//! damping term, scatter re-activates out-neighbors while the rank still
+//! moves more than the tolerance.
+//!
+//! Hardware character (Fig 2): PageRank is the memory-bound application —
+//! per-edge compute is trivial (one multiply-add) but every gather touches
+//! a random remote cache line. Its profile therefore carries the highest
+//! `edge_bytes`, making it the first to saturate on machines with many
+//! threads but finite bandwidth.
+
+use hetgraph_cluster::AppProfile;
+use hetgraph_core::{Graph, VertexId};
+use hetgraph_engine::{Direction, GasProgram};
+
+/// Damping factor used by the paper (standard 0.85).
+pub const DAMPING: f64 = 0.85;
+
+/// PageRank vertex program.
+#[derive(Debug, Clone)]
+pub struct PageRank {
+    iterations: usize,
+    tolerance: f64,
+}
+
+impl PageRank {
+    /// Run exactly `iterations` supersteps (tolerance 0 keeps every vertex
+    /// active while ranks move at all — the paper-style fixed-iteration
+    /// configuration).
+    pub fn new(iterations: usize) -> Self {
+        assert!(iterations > 0, "PageRank needs at least one iteration");
+        PageRank {
+            iterations,
+            tolerance: 0.0,
+        }
+    }
+
+    /// Converge to `tolerance` (L∞ on rank deltas), up to `max_iterations`.
+    pub fn with_tolerance(max_iterations: usize, tolerance: f64) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        assert!(max_iterations > 0, "PageRank needs at least one iteration");
+        PageRank {
+            iterations: max_iterations,
+            tolerance,
+        }
+    }
+
+    /// The ground-truth hardware profile (see crate docs).
+    pub fn standard_profile() -> AppProfile {
+        AppProfile {
+            name: "pagerank".into(),
+            edge_flops: 60.0,
+            edge_bytes: 100.0,
+            vertex_flops: 30.0,
+            vertex_bytes: 16.0,
+            serial_fraction: 0.02,
+            parallel_exponent: 0.93,
+            skew_sensitivity: 0.3,
+            relief_floor: 0.85,
+            relief_ref_degree: 10.0,
+        }
+    }
+}
+
+impl GasProgram for PageRank {
+    type VertexData = f64;
+    type Accum = f64;
+
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+
+    fn profile(&self) -> AppProfile {
+        Self::standard_profile()
+    }
+
+    fn init(&self, graph: &Graph, _v: VertexId) -> f64 {
+        1.0 / graph.num_vertices().max(1) as f64
+    }
+
+    fn gather_direction(&self) -> Direction {
+        Direction::In
+    }
+
+    fn gather(&self, graph: &Graph, data: &[f64], _v: VertexId, u: VertexId) -> (Option<f64>, f64) {
+        // u is an in-neighbor, so it has at least the edge (u, v): its
+        // out-degree is never zero here.
+        (Some(data[u as usize] / graph.out_degree(u) as f64), 1.0)
+    }
+
+    fn sum(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn apply(
+        &self,
+        graph: &Graph,
+        _v: VertexId,
+        old: &f64,
+        acc: Option<f64>,
+        _superstep: usize,
+    ) -> (f64, bool) {
+        let n = graph.num_vertices().max(1) as f64;
+        let new = (1.0 - DAMPING) / n + DAMPING * acc.unwrap_or(0.0);
+        ((new), (new - old).abs() > self.tolerance)
+    }
+
+    fn scatter_direction(&self) -> Direction {
+        Direction::Out
+    }
+
+    fn max_supersteps(&self) -> usize {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::pagerank_ref;
+    use hetgraph_cluster::Cluster;
+    use hetgraph_core::{Edge, EdgeList};
+    use hetgraph_engine::SimEngine;
+    use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
+
+    fn run(g: &Graph, iters: usize) -> Vec<f64> {
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(g, &MachineWeights::uniform(2));
+        SimEngine::new(&cluster)
+            .run(g, &a, &PageRank::new(iters))
+            .data
+    }
+
+    #[test]
+    fn ring_is_uniform() {
+        // Every vertex of a directed ring has identical rank 1/N.
+        let n = 10u32;
+        let edges = (0..n).map(|v| Edge::new(v, (v + 1) % n)).collect();
+        let g = Graph::from_edge_list(EdgeList::from_edges(n, edges));
+        let ranks = run(&g, 30);
+        for r in &ranks {
+            assert!((r - 0.1).abs() < 1e-9, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let mut edges = Vec::new();
+        let n = 50u32;
+        for v in 0..n {
+            edges.push(Edge::new(v, (v * 7 + 1) % n));
+            edges.push(Edge::new(v, (v * 3 + 2) % n));
+        }
+        let g = Graph::from_edge_list(EdgeList::from_edges(n, edges));
+        let got = run(&g, 25);
+        let want = pagerank_ref(&g, 25, DAMPING);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hub_collects_rank() {
+        // star: all leaves point at vertex 0 -> hub rank dominates.
+        let n = 20u32;
+        let edges = (1..n).map(|v| Edge::new(v, 0)).collect();
+        let g = Graph::from_edge_list(EdgeList::from_edges(n, edges));
+        let ranks = run(&g, 20);
+        assert!(ranks[0] > ranks[1] * 5.0);
+    }
+
+    #[test]
+    fn tolerance_converges_early() {
+        let n = 10u32;
+        let edges = (0..n).map(|v| Edge::new(v, (v + 1) % n)).collect();
+        let g = Graph::from_edge_list(EdgeList::from_edges(n, edges));
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let out = SimEngine::new(&cluster).run(&g, &a, &PageRank::with_tolerance(500, 1e-12));
+        assert!(out.report.converged);
+        assert!(out.report.supersteps < 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        PageRank::new(0);
+    }
+}

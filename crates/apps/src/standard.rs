@@ -1,0 +1,152 @@
+//! The paper's four applications as a uniform value type.
+//!
+//! `GasProgram` has associated types, so heterogeneous collections of
+//! programs need a dispatch layer. [`StandardApp`] is that layer: the
+//! profiler, the evaluation harness, and the cost study all iterate
+//! `StandardApp::ALL` and call [`StandardApp::run`], which executes the
+//! right vertex program and returns the simulated report.
+
+use hetgraph_cluster::AppProfile;
+use hetgraph_core::Graph;
+use hetgraph_engine::{SimEngine, SimReport};
+use hetgraph_partition::PartitionAssignment;
+
+use crate::coloring::Coloring;
+use crate::connected_components::ConnectedComponents;
+use crate::pagerank::PageRank;
+use crate::triangle_count::TriangleCount;
+
+/// Default PageRank iteration count for evaluation runs (the paper runs
+/// PageRank for a fixed number of sweeps).
+pub const PAGERANK_ITERATIONS: usize = 10;
+
+/// The four MLDM applications of Section IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum StandardApp {
+    /// PageRank (Eq. 8), fixed iterations.
+    PageRank,
+    /// Greedy coloring.
+    Coloring,
+    /// Weakly-connected components.
+    ConnectedComponents,
+    /// Triangle counting.
+    TriangleCount,
+}
+
+impl StandardApp {
+    /// All four, in the paper's order.
+    pub const ALL: [StandardApp; 4] = [
+        StandardApp::PageRank,
+        StandardApp::Coloring,
+        StandardApp::ConnectedComponents,
+        StandardApp::TriangleCount,
+    ];
+
+    /// Application name (keys the CCR pool).
+    pub fn name(self) -> &'static str {
+        match self {
+            StandardApp::PageRank => "pagerank",
+            StandardApp::Coloring => "coloring",
+            StandardApp::ConnectedComponents => "connected_components",
+            StandardApp::TriangleCount => "triangle_count",
+        }
+    }
+
+    /// The application's ground-truth hardware profile.
+    pub fn profile(self) -> AppProfile {
+        match self {
+            StandardApp::PageRank => PageRank::standard_profile(),
+            StandardApp::Coloring => Coloring::standard_profile(),
+            StandardApp::ConnectedComponents => ConnectedComponents::standard_profile(),
+            StandardApp::TriangleCount => TriangleCount::standard_profile(),
+        }
+    }
+
+    /// Execute on a partitioned graph and return the simulated report.
+    pub fn run(
+        self,
+        engine: &SimEngine<'_>,
+        graph: &Graph,
+        assignment: &PartitionAssignment,
+    ) -> SimReport {
+        match self {
+            StandardApp::PageRank => {
+                engine
+                    .run(graph, assignment, &PageRank::new(PAGERANK_ITERATIONS))
+                    .report
+            }
+            StandardApp::Coloring => engine.run(graph, assignment, &Coloring::new()).report,
+            StandardApp::ConnectedComponents => {
+                engine
+                    .run(graph, assignment, &ConnectedComponents::new())
+                    .report
+            }
+            StandardApp::TriangleCount => {
+                let tc = TriangleCount::for_graph(graph);
+                engine.run(graph, assignment, &tc).report
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for StandardApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The paper's application set.
+pub fn standard_apps() -> [StandardApp; 4] {
+    StandardApp::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph_cluster::Cluster;
+    use hetgraph_gen::PowerLawConfig;
+    use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
+
+    #[test]
+    fn names_and_profiles_consistent() {
+        for app in StandardApp::ALL {
+            assert_eq!(app.name(), app.profile().name);
+            app.profile().assert_valid();
+        }
+    }
+
+    #[test]
+    fn all_four_run_on_a_power_law_graph() {
+        let g = PowerLawConfig::new(800, 2.1).generate(3);
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let engine = SimEngine::new(&cluster);
+        for app in standard_apps() {
+            let rep = app.run(&engine, &g, &a);
+            assert!(rep.makespan_s > 0.0, "{app}: no time simulated");
+            assert!(rep.supersteps > 0, "{app}: no supersteps");
+            assert_eq!(rep.app, app.name());
+        }
+    }
+
+    #[test]
+    fn profiles_are_microarchitecturally_diverse() {
+        // The Fig 2 premise: the four apps must not share one profile.
+        let ratios: Vec<f64> = StandardApp::ALL
+            .iter()
+            .map(|a| {
+                let p = a.profile();
+                p.edge_flops / p.edge_bytes
+            })
+            .collect();
+        // PageRank is the most memory-bound; TriangleCount the least.
+        assert!(ratios[0] < ratios[1]);
+        assert!(ratios[0] < ratios[2]);
+        assert!(ratios[3] > ratios[1]);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(StandardApp::PageRank.to_string(), "pagerank");
+    }
+}

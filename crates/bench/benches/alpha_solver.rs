@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks: the Eq. 7 Newton solver.
+//!
+//! The paper claims the α computation is "extremely quick (less than 1 ms)"
+//! with "negligible" overhead; this bench regenerates that claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hetgraph_gen::alpha::{fit_alpha, fit_alpha_with_support};
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_solver");
+
+    // The four Table II graphs (full-size counts).
+    let graphs: [(&str, u64, u64); 4] = [
+        ("amazon", 403_394, 3_387_388),
+        ("citation", 3_774_768, 16_518_948),
+        ("social", 4_847_571, 68_993_773),
+        ("wiki", 2_394_385, 5_021_410),
+    ];
+    for (name, v, e) in graphs {
+        group.bench_with_input(BenchmarkId::new("table2", name), &(v, e), |b, &(v, e)| {
+            b.iter(|| black_box(fit_alpha(v, e).unwrap().alpha));
+        });
+    }
+
+    // Support-size sweep: the solver is linear in the support cap.
+    for support in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("support", support),
+            &support,
+            |b, &support| {
+                b.iter(|| {
+                    black_box(
+                        fit_alpha_with_support(1_000_000, 8_000_000, support)
+                            .unwrap()
+                            .alpha,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha);
+criterion_main!(benches);

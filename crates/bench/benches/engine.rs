@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks: GAS engine superstep throughput.
+//!
+//! Measures the real execution cost (host time, not simulated time) of the
+//! engine, which bounds how large an experiment a given machine can drive.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hetgraph_apps::{ConnectedComponents, PageRank, StandardApp, TriangleCount};
+use hetgraph_cluster::Cluster;
+use hetgraph_engine::SimEngine;
+use hetgraph_gen::RmatConfig;
+use hetgraph_partition::{Hybrid, MachineWeights, Partitioner};
+
+fn bench_engine(c: &mut Criterion) {
+    let graph = RmatConfig::natural(10_000, 80_000).generate(11);
+    let cluster = Cluster::case2();
+    let assignment = Hybrid::new().partition(&graph, &MachineWeights::uniform(2));
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+
+    group.bench_function("pagerank_5_iters", |b| {
+        let engine = SimEngine::new(&cluster);
+        b.iter(|| {
+            black_box(
+                engine
+                    .run(&graph, &assignment, &PageRank::new(5))
+                    .report
+                    .makespan_s,
+            )
+        });
+    });
+    group.bench_function("connected_components", |b| {
+        let engine = SimEngine::new(&cluster);
+        b.iter(|| {
+            black_box(
+                engine
+                    .run(&graph, &assignment, &ConnectedComponents::new())
+                    .report
+                    .supersteps,
+            )
+        });
+    });
+    group.bench_function("triangle_count", |b| {
+        let engine = SimEngine::new(&cluster);
+        let tc = TriangleCount::for_graph(&graph);
+        b.iter(|| black_box(engine.run(&graph, &assignment, &tc).data[0]));
+    });
+    group.bench_function("standard_app_dispatch", |b| {
+        let engine = SimEngine::new(&cluster);
+        b.iter(|| {
+            black_box(
+                StandardApp::Coloring
+                    .run(&engine, &graph, &assignment)
+                    .makespan_s,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

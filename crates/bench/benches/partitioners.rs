@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks: streaming partitioner ingest throughput.
+//!
+//! Partitioning happens on the critical path of every job submission
+//! (PowerGraph's "ingress" phase), so its throughput matters in practice
+//! even though the paper focuses on post-ingress runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hetgraph_gen::RmatConfig;
+use hetgraph_partition::{MachineWeights, PartitionerKind};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let graph = RmatConfig::natural(20_000, 160_000).generate(7);
+    let uniform = MachineWeights::uniform(4);
+    let weighted = MachineWeights::from_ccr(&[1.0, 2.0, 3.0, 3.5]);
+
+    let mut group = c.benchmark_group("partition_ingest");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    group.sample_size(10);
+    for kind in PartitionerKind::ALL {
+        let p = kind.build();
+        group.bench_with_input(BenchmarkId::new("uniform", kind.name()), &graph, |b, g| {
+            b.iter(|| black_box(p.partition(g, &uniform)));
+        });
+        group.bench_with_input(BenchmarkId::new("ccr", kind.name()), &graph, |b, g| {
+            b.iter(|| black_box(p.partition(g, &weighted)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

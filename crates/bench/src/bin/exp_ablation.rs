@@ -1,0 +1,41 @@
+//! Runs the beyond-paper ablation studies.
+//!
+//! Usage: `exp_ablation [--scale N] [--out DIR]
+//!         [--study proxy_size|proxy_coverage|partitioners|threshold|stability|feedback|frequency]`
+
+fn main() {
+    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args();
+    let study = rest
+        .iter()
+        .position(|a| a == "--study")
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str());
+    let run_all = study.is_none();
+    if run_all || study == Some("proxy_size") {
+        hetgraph_bench::ablation::proxy_size(&ctx);
+        println!();
+    }
+    if run_all || study == Some("proxy_coverage") {
+        hetgraph_bench::ablation::proxy_coverage(&ctx);
+        println!();
+    }
+    if run_all || study == Some("partitioners") {
+        hetgraph_bench::ablation::partitioner_quality(&ctx);
+        println!();
+    }
+    if run_all || study == Some("threshold") {
+        hetgraph_bench::ablation::hybrid_threshold(&ctx);
+        println!();
+    }
+    if run_all || study == Some("stability") {
+        hetgraph_bench::ablation::ccr_stability(&ctx);
+        println!();
+    }
+    if run_all || study == Some("feedback") {
+        hetgraph_bench::ablation::feedback_convergence(&ctx);
+        println!();
+    }
+    if run_all || study == Some("frequency") {
+        hetgraph_bench::ablation::frequency_sweep(&ctx);
+    }
+}

@@ -1,0 +1,40 @@
+//! Runs every experiment in paper order (the one-shot reproduction).
+
+fn main() {
+    let (ctx, _) = hetgraph_bench::ExperimentContext::from_args();
+    hetgraph_bench::tables::table1(&ctx);
+    println!();
+    hetgraph_bench::tables::table2(&ctx);
+    println!();
+    hetgraph_bench::accuracy::fig2(&ctx);
+    println!();
+    hetgraph_bench::tables::fig6(&ctx);
+    println!();
+    hetgraph_bench::accuracy::fig8(&ctx, "a");
+    println!();
+    hetgraph_bench::accuracy::fig8(&ctx, "b");
+    println!();
+    hetgraph_bench::cases::fig9(&ctx);
+    println!();
+    hetgraph_bench::cases::fig10(&ctx, 2);
+    println!();
+    hetgraph_bench::cases::fig10(&ctx, 3);
+    println!();
+    hetgraph_bench::cost_fig::fig11(&ctx);
+    println!();
+    hetgraph_bench::headline::headline(&ctx);
+    println!();
+    hetgraph_bench::ablation::proxy_size(&ctx);
+    println!();
+    hetgraph_bench::ablation::proxy_coverage(&ctx);
+    println!();
+    hetgraph_bench::ablation::partitioner_quality(&ctx);
+    println!();
+    hetgraph_bench::ablation::hybrid_threshold(&ctx);
+    println!();
+    hetgraph_bench::ablation::ccr_stability(&ctx);
+    println!();
+    hetgraph_bench::ablation::feedback_convergence(&ctx);
+    println!();
+    hetgraph_bench::ablation::frequency_sweep(&ctx);
+}

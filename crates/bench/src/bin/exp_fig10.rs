@@ -1,0 +1,22 @@
+//! Regenerates Fig 10: Cases 2-3 runtime + energy.
+//!
+//! Usage: `exp_fig10 [--scale N] [--out DIR] [--case 2|3]` (default: both)
+
+fn main() {
+    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args();
+    let case = rest
+        .iter()
+        .position(|a| a == "--case")
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.parse::<u32>().expect("--case must be 2 or 3"));
+    match case {
+        Some(c) => {
+            hetgraph_bench::cases::fig10(&ctx, c);
+        }
+        None => {
+            hetgraph_bench::cases::fig10(&ctx, 2);
+            println!();
+            hetgraph_bench::cases::fig10(&ctx, 3);
+        }
+    }
+}

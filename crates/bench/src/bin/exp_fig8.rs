@@ -1,0 +1,22 @@
+//! Regenerates Fig 8a/8b: CCR estimation accuracy.
+//!
+//! Usage: `exp_fig8 [--scale N] [--out DIR] [--part a|b]` (default: both)
+
+fn main() {
+    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args();
+    let part = rest
+        .iter()
+        .position(|a| a == "--part")
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str());
+    match part {
+        Some(p) => {
+            hetgraph_bench::accuracy::fig8(&ctx, p);
+        }
+        None => {
+            hetgraph_bench::accuracy::fig8(&ctx, "a");
+            println!();
+            hetgraph_bench::accuracy::fig8(&ctx, "b");
+        }
+    }
+}

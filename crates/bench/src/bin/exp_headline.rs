@@ -1,0 +1,6 @@
+//! Recomputes the abstract's aggregate claims.
+
+fn main() {
+    let (ctx, _) = hetgraph_bench::ExperimentContext::from_args();
+    hetgraph_bench::headline::headline(&ctx);
+}

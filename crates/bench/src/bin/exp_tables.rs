@@ -1,0 +1,30 @@
+//! Regenerates Table I, Table II, and Fig 6.
+//!
+//! Usage: `exp_tables [--scale N] [--out DIR] [--table 1|2|6]`
+
+fn main() {
+    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args();
+    let which = rest
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str());
+    match which {
+        Some("1") => {
+            hetgraph_bench::tables::table1(&ctx);
+        }
+        Some("2") => {
+            hetgraph_bench::tables::table2(&ctx);
+        }
+        Some("6") => {
+            hetgraph_bench::tables::fig6(&ctx);
+        }
+        _ => {
+            hetgraph_bench::tables::table1(&ctx);
+            println!();
+            hetgraph_bench::tables::table2(&ctx);
+            println!();
+            hetgraph_bench::tables::fig6(&ctx);
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! The end-to-end case studies: Fig 9 (Case 1) and Fig 10 (Cases 2–3).
+
+use hetgraph_apps::{standard_apps, StandardApp};
+use hetgraph_cluster::Cluster;
+use hetgraph_core::stats;
+use hetgraph_core::Graph;
+use hetgraph_engine::SimEngine;
+use hetgraph_partition::{PartitionMetrics, PartitionerKind};
+use hetgraph_profile::CcrPool;
+
+use crate::context::ExperimentContext;
+use crate::output::{f3, pct, print_table, write_json};
+use crate::policy::Policy;
+
+/// One (app, graph, partitioner, policy) measurement.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CaseRow {
+    /// Application name.
+    pub app: String,
+    /// Graph name.
+    pub graph: String,
+    /// Partitioner name.
+    pub partitioner: String,
+    /// Policy name.
+    pub policy: String,
+    /// Simulated end-to-end runtime.
+    pub makespan_s: f64,
+    /// Simulated total energy.
+    pub energy_j: f64,
+    /// Partition replication factor.
+    pub replication_factor: f64,
+}
+
+/// Profile the cluster once (offline, as in Fig 7a) for this context.
+pub fn profile_pool(cluster: &Cluster, ctx: &ExperimentContext) -> CcrPool {
+    CcrPool::profile(cluster, &ctx.proxies(), &standard_apps())
+}
+
+/// Run the full measurement matrix.
+pub fn run_matrix(
+    cluster: &Cluster,
+    pool: &CcrPool,
+    graphs: &[(String, Graph)],
+    partitioners: &[PartitionerKind],
+    policies: &[Policy],
+    apps: &[StandardApp],
+) -> Vec<CaseRow> {
+    let engine = SimEngine::new(cluster);
+    let mut rows = Vec::new();
+    for (gname, graph) in graphs {
+        for &kind in partitioners {
+            let partitioner = kind.build();
+            for &app in apps {
+                for &policy in policies {
+                    let weights = policy.weights(cluster, pool, app.name());
+                    let assignment = partitioner.partition(graph, &weights);
+                    let metrics = PartitionMetrics::compute(&assignment, &weights);
+                    let report = app.run(&engine, graph, &assignment);
+                    rows.push(CaseRow {
+                        app: app.name().to_string(),
+                        graph: gname.clone(),
+                        partitioner: kind.name().to_string(),
+                        policy: policy.name().to_string(),
+                        makespan_s: report.makespan_s,
+                        energy_j: report.total_energy_j(),
+                        replication_factor: metrics.replication_factor,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Find the row matching a (app, graph, partitioner, policy) tuple.
+pub fn find<'a>(
+    rows: &'a [CaseRow],
+    app: &str,
+    graph: &str,
+    partitioner: &str,
+    policy: Policy,
+) -> &'a CaseRow {
+    rows.iter()
+        .find(|r| {
+            r.app == app
+                && r.graph == graph
+                && r.partitioner == partitioner
+                && r.policy == policy.name()
+        })
+        .unwrap_or_else(|| panic!("missing row {app}/{graph}/{partitioner}/{policy}"))
+}
+
+/// Speedups of `policy` over `baseline` for every (app, graph,
+/// partitioner) cell present in `rows`.
+pub fn speedups_over(rows: &[CaseRow], baseline: Policy, policy: Policy) -> Vec<f64> {
+    let mut out = Vec::new();
+    for r in rows.iter().filter(|r| r.policy == policy.name()) {
+        let base = find(rows, &r.app, &r.graph, &r.partitioner, baseline);
+        out.push(base.makespan_s / r.makespan_s);
+    }
+    out
+}
+
+/// Energy savings (fraction) of `policy` over `baseline`, cell-wise.
+pub fn energy_savings_over(rows: &[CaseRow], baseline: Policy, policy: Policy) -> Vec<f64> {
+    let mut out = Vec::new();
+    for r in rows.iter().filter(|r| r.policy == policy.name()) {
+        let base = find(rows, &r.app, &r.graph, &r.partitioner, baseline);
+        out.push(1.0 - r.energy_j / base.energy_j);
+    }
+    out
+}
+
+/// Fig 9: Case 1 — m4.2xlarge + c4.2xlarge, four graphs, five
+/// partitioners, default vs CCR-guided. Prior work sees this cluster as
+/// homogeneous (equal thread counts), so its result equals the default.
+pub fn fig9(ctx: &ExperimentContext) -> Vec<CaseRow> {
+    let cluster = Cluster::case1();
+    println!(
+        "== Fig 9: Case 1 (m4.2xlarge + c4.2xlarge), scale 1/{} ==",
+        ctx.scale
+    );
+    println!("(prior work sees equal thread counts here -> identical to default)\n");
+    let pool = profile_pool(&cluster, ctx);
+    let graphs = ctx.natural_graphs();
+    let rows = run_matrix(
+        &cluster,
+        &pool,
+        &graphs,
+        &PartitionerKind::ALL,
+        &[Policy::Default, Policy::CcrGuided],
+        &standard_apps(),
+    );
+
+    for app in standard_apps() {
+        println!("-- {} --", app.name());
+        let mut table = Vec::new();
+        for (gname, _) in &graphs {
+            for kind in PartitionerKind::ALL {
+                let d = find(&rows, app.name(), gname, kind.name(), Policy::Default);
+                let c = find(&rows, app.name(), gname, kind.name(), Policy::CcrGuided);
+                table.push(vec![
+                    gname.clone(),
+                    kind.name().to_string(),
+                    f3(d.makespan_s),
+                    f3(c.makespan_s),
+                    f3(d.makespan_s / c.makespan_s),
+                ]);
+            }
+        }
+        print_table(
+            &["graph", "partitioner", "default_s", "ccr_s", "speedup"],
+            &table,
+        );
+        let app_rows: Vec<CaseRow> = rows
+            .iter()
+            .filter(|r| r.app == app.name())
+            .cloned()
+            .collect();
+        let speedups = speedups_over(&app_rows, Policy::Default, Policy::CcrGuided);
+        println!(
+            "{}: avg speedup {} | max speedup {}\n",
+            app.name(),
+            f3(stats::geomean(&speedups)),
+            f3(stats::fmax(speedups.iter().copied()).unwrap_or(1.0)),
+        );
+    }
+    let all = speedups_over(&rows, Policy::Default, Policy::CcrGuided);
+    println!(
+        "Case 1 overall: avg speedup {} (paper: 1.16x), max {} (paper: 1.45x)",
+        f3(stats::geomean(&all)),
+        f3(stats::fmax(all.iter().copied()).unwrap_or(1.0)),
+    );
+    write_json(ctx.out_dir.as_deref(), "fig9", &rows);
+    rows
+}
+
+/// Fig 10: Cases 2 and 3 — runtime and energy vs default, for prior work
+/// and CCR guidance. `case` selects 2 (thread-count heterogeneity) or 3
+/// (thread + frequency heterogeneity).
+pub fn fig10(ctx: &ExperimentContext, case: u32) -> Vec<CaseRow> {
+    let cluster = match case {
+        2 => Cluster::case2(),
+        3 => Cluster::case3(),
+        other => panic!("fig10 case must be 2 or 3, got {other}"),
+    };
+    println!(
+        "== Fig 10{}: Case {case} ({} + {}), scale 1/{} ==\n",
+        if case == 2 { "a" } else { "b" },
+        cluster.machines()[0].name,
+        cluster.machines()[1].name,
+        ctx.scale
+    );
+    let pool = profile_pool(&cluster, ctx);
+    for set in pool.iter() {
+        println!("profiled CCR[{}] = 1 : {}", set.app(), f3(set.spread()));
+    }
+    println!();
+
+    let graphs = ctx.natural_graphs();
+    // Aggregate across all five partitioners, as Fig 9 does: single-
+    // partitioner numbers at reduced scale are dominated by hub-placement
+    // variance (a handful of hub bundles decide which machine hosts the
+    // heavy edges), which the paper's full-size graphs average away.
+    let rows = run_matrix(
+        &cluster,
+        &pool,
+        &graphs,
+        &PartitionerKind::ALL,
+        &Policy::ALL,
+        &standard_apps(),
+    );
+
+    let mut table = Vec::new();
+    for app in standard_apps() {
+        let app_rows: Vec<CaseRow> = rows
+            .iter()
+            .filter(|r| r.app == app.name())
+            .cloned()
+            .collect();
+        let prior_speed = stats::geomean(&speedups_over(
+            &app_rows,
+            Policy::Default,
+            Policy::PriorWork,
+        ));
+        let ccr_speed = stats::geomean(&speedups_over(
+            &app_rows,
+            Policy::Default,
+            Policy::CcrGuided,
+        ));
+        let prior_energy = stats::mean(&energy_savings_over(
+            &app_rows,
+            Policy::Default,
+            Policy::PriorWork,
+        ));
+        let ccr_energy = stats::mean(&energy_savings_over(
+            &app_rows,
+            Policy::Default,
+            Policy::CcrGuided,
+        ));
+        table.push(vec![
+            app.name().to_string(),
+            f3(prior_speed),
+            f3(ccr_speed),
+            pct(100.0 * prior_energy),
+            pct(100.0 * ccr_energy),
+        ]);
+    }
+    print_table(
+        &[
+            "app",
+            "prior_speedup",
+            "ccr_speedup",
+            "prior_energy_saved",
+            "ccr_energy_saved",
+        ],
+        &table,
+    );
+
+    let prior_all = stats::geomean(&speedups_over(&rows, Policy::Default, Policy::PriorWork));
+    let ccr_all = stats::geomean(&speedups_over(&rows, Policy::Default, Policy::CcrGuided));
+    let prior_e = stats::mean(&energy_savings_over(
+        &rows,
+        Policy::Default,
+        Policy::PriorWork,
+    ));
+    let ccr_e = stats::mean(&energy_savings_over(
+        &rows,
+        Policy::Default,
+        Policy::CcrGuided,
+    ));
+    let paper = if case == 2 {
+        "(paper: prior 1.27x / ours 1.45x; energy prior 8.4% / ours 23.6%)"
+    } else {
+        "(paper: prior 1.37x / ours 1.58x; energy prior 10.4%-ish / ours 26.4%)"
+    };
+    println!(
+        "\nCase {case} overall: prior {}x, ccr {}x | energy prior {}, ccr {} {paper}",
+        f3(prior_all),
+        f3(ccr_all),
+        pct(100.0 * prior_e),
+        pct(100.0 * ccr_e),
+    );
+    write_json(ctx.out_dir.as_deref(), &format!("fig10_case{case}"), &rows);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExperimentContext {
+        ExperimentContext::at_scale(512)
+    }
+
+    /// Fine-grained partitioners for the ordering assertions: at test
+    /// scale, bundle-granularity partitioners (hybrid) are dominated by
+    /// which machine drew the few hub bundles, which is variance, not
+    /// policy quality.
+    const TEST_PARTITIONERS: [PartitionerKind; 3] = [
+        PartitionerKind::RandomHash,
+        PartitionerKind::Grid,
+        PartitionerKind::Ginger,
+    ];
+
+    #[test]
+    fn case2_orderings_hold() {
+        // The paper's central claim at harness level: CCR >= prior >=
+        // default in speedup (geomean across apps/graphs).
+        let ctx = tiny_ctx();
+        let cluster = Cluster::case2();
+        let pool = profile_pool(&cluster, &ctx);
+        let graphs = ctx.natural_graphs();
+        let rows = run_matrix(
+            &cluster,
+            &pool,
+            &graphs,
+            &TEST_PARTITIONERS,
+            &Policy::ALL,
+            &standard_apps(),
+        );
+        let prior = stats::geomean(&speedups_over(&rows, Policy::Default, Policy::PriorWork));
+        let ccr = stats::geomean(&speedups_over(&rows, Policy::Default, Policy::CcrGuided));
+        assert!(prior > 1.0, "prior speedup {prior} must beat default");
+        assert!(ccr > prior, "ccr {ccr} must beat prior {prior}");
+    }
+
+    #[test]
+    fn case3_energy_ordering_holds() {
+        // Case 3 is where the energy mechanism is structural: prior's 1:5
+        // estimate *underestimates* the >1:6 real heterogeneity, so it
+        // overloads the tiny machine and the big Xeon burns idle watts at
+        // every barrier. (In Case 2 the two policies bracket the optimum
+        // from opposite sides and energy is a statistical tie at reduced
+        // scale.)
+        let ctx = tiny_ctx();
+        let cluster = Cluster::case3();
+        let pool = profile_pool(&cluster, &ctx);
+        let graphs = ctx.natural_graphs();
+        let rows = run_matrix(
+            &cluster,
+            &pool,
+            &graphs,
+            &TEST_PARTITIONERS,
+            &Policy::ALL,
+            &standard_apps(),
+        );
+        let prior = stats::mean(&energy_savings_over(
+            &rows,
+            Policy::Default,
+            Policy::PriorWork,
+        ));
+        let ccr = stats::mean(&energy_savings_over(
+            &rows,
+            Policy::Default,
+            Policy::CcrGuided,
+        ));
+        assert!(
+            ccr > prior,
+            "ccr energy saving {ccr} must beat prior {prior}"
+        );
+        assert!(ccr > 0.0);
+        let prior_speed = stats::geomean(&speedups_over(&rows, Policy::Default, Policy::PriorWork));
+        let ccr_speed = stats::geomean(&speedups_over(&rows, Policy::Default, Policy::CcrGuided));
+        assert!(ccr_speed > prior_speed, "case 3 speedup ordering");
+    }
+
+    #[test]
+    fn speedups_and_find_consistency() {
+        let ctx = tiny_ctx();
+        let cluster = Cluster::case1();
+        let pool = profile_pool(&cluster, &ctx);
+        let graphs = vec![ctx.natural_graphs().remove(0)];
+        let rows = run_matrix(
+            &cluster,
+            &pool,
+            &graphs,
+            &[PartitionerKind::RandomHash],
+            &[Policy::Default, Policy::CcrGuided],
+            &[StandardApp::PageRank],
+        );
+        assert_eq!(rows.len(), 2);
+        let s = speedups_over(&rows, Policy::Default, Policy::CcrGuided);
+        assert_eq!(s.len(), 1);
+        assert!(s[0] > 0.9, "case 1 ccr should not badly regress: {}", s[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing row")]
+    fn find_panics_on_absent_cell() {
+        find(&[], "a", "g", "p", Policy::Default);
+    }
+}

@@ -1,0 +1,111 @@
+//! Experiment configuration shared by every harness.
+
+use std::path::PathBuf;
+
+use hetgraph_core::Graph;
+use hetgraph_gen::{NaturalGraph, ProxySet};
+
+/// Configuration for one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Graph downscale factor: 1 reproduces the paper's Table II sizes,
+    /// `N` divides every |V| and |E| by `N` (average degree preserved).
+    pub scale: u32,
+    /// Where to write machine-readable JSON results (`None` = stdout only).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        ExperimentContext {
+            scale: 64,
+            out_dir: None,
+        }
+    }
+}
+
+impl ExperimentContext {
+    /// Context at an explicit scale.
+    pub fn at_scale(scale: u32) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        ExperimentContext {
+            scale,
+            out_dir: None,
+        }
+    }
+
+    /// Parse `--scale N` and `--out DIR` from command-line arguments
+    /// (unknown arguments are returned for the caller to interpret).
+    pub fn from_args() -> (Self, Vec<String>) {
+        let mut ctx = ExperimentContext::default();
+        let mut rest = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    ctx.scale = v.parse().expect("--scale must be a positive integer");
+                    assert!(ctx.scale > 0, "--scale must be positive");
+                }
+                "--out" => {
+                    ctx.out_dir = Some(PathBuf::from(args.next().expect("--out needs a value")));
+                }
+                other => rest.push(other.to_string()),
+            }
+        }
+        (ctx, rest)
+    }
+
+    /// The four natural-graph stand-ins at this context's scale, in Table
+    /// II order, with their display names.
+    pub fn natural_graphs(&self) -> Vec<(String, Graph)> {
+        NaturalGraph::ALL
+            .iter()
+            .map(|g| (g.name().to_string(), g.generate(self.scale)))
+            .collect()
+    }
+
+    /// The standard proxy set at this context's scale.
+    pub fn proxies(&self) -> ProxySet {
+        ProxySet::standard(self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_laptop_sized() {
+        let ctx = ExperimentContext::default();
+        assert_eq!(ctx.scale, 64);
+        assert!(ctx.out_dir.is_none());
+    }
+
+    #[test]
+    fn natural_graphs_in_table2_order() {
+        let ctx = ExperimentContext::at_scale(512);
+        let graphs = ctx.natural_graphs();
+        assert_eq!(graphs.len(), 4);
+        assert_eq!(graphs[0].0, "amazon");
+        assert_eq!(graphs[3].0, "wiki");
+        // Density is preserved by scaling.
+        let amazon_density = graphs[0].1.avg_degree();
+        assert!(
+            (amazon_density - 8.4).abs() < 1.0,
+            "density {amazon_density}"
+        );
+    }
+
+    #[test]
+    fn proxies_scale_with_context() {
+        let ctx = ExperimentContext::at_scale(3200);
+        assert_eq!(ctx.proxies().proxies()[0].num_vertices, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        ExperimentContext::at_scale(0);
+    }
+}

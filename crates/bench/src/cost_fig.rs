@@ -1,0 +1,83 @@
+//! Fig 11: the cost/performance Pareto study.
+
+use hetgraph_apps::standard_apps;
+use hetgraph_cluster::catalog;
+use hetgraph_cost::CostStudy;
+
+use crate::context::ExperimentContext;
+use crate::output::{f3, print_table, write_json};
+
+/// Fig 11: proxy-profiled speedup vs relative cost-per-task for every EC2
+/// machine and application, with the per-app Pareto frontier.
+pub fn fig11(ctx: &ExperimentContext) -> CostStudy {
+    println!(
+        "== Fig 11: cost and performance Pareto space, scale 1/{} ==\n",
+        ctx.scale
+    );
+    let baseline = catalog::c4_xlarge();
+    let machines = vec![
+        catalog::c4_xlarge(),
+        catalog::c4_2xlarge(),
+        catalog::m4_2xlarge(),
+        catalog::r3_2xlarge(),
+        catalog::c4_4xlarge(),
+        catalog::c4_8xlarge(),
+    ];
+    let study = CostStudy::from_profiling(&baseline, &machines, &standard_apps(), &ctx.proxies());
+
+    let mut table = Vec::new();
+    for p in &study.points {
+        table.push(vec![
+            p.app.clone(),
+            p.machine.clone(),
+            f3(p.speedup),
+            f3(p.relative_cost),
+        ]);
+    }
+    print_table(
+        &["app", "machine", "speedup", "relative_cost_per_task"],
+        &table,
+    );
+
+    println!();
+    for app in standard_apps() {
+        let frontier: Vec<&str> = study
+            .pareto_for_app(app.name())
+            .iter()
+            .map(|p| p.machine.as_str())
+            .collect();
+        println!("{} Pareto frontier: {}", app.name(), frontier.join(", "));
+    }
+    println!(
+        "\nMean relative cost per task: 8xlarge {} vs 4xlarge {} vs 2xlarge {} \
+         (paper: 8xlarge is the most expensive; 4xlarge/2xlarge save 60%/80%)",
+        f3(study.mean_cost_for_machine("c4.8xlarge").expect("present")),
+        f3(study.mean_cost_for_machine("c4.4xlarge").expect("present")),
+        f3(study.mean_cost_for_machine("c4.2xlarge").expect("present")),
+    );
+    write_json(ctx.out_dir.as_deref(), "fig11", &study);
+    study
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_runs_and_matches_paper_shape() {
+        let study = fig11(&ExperimentContext::at_scale(1024));
+        assert_eq!(study.points.len(), 4 * 6);
+        // The 2xlarge trio clusters together (paper: "All 2xlarge machines
+        // ... are grouped together").
+        let twos: Vec<f64> = study
+            .points
+            .iter()
+            .filter(|p| p.machine.contains("2xlarge") && p.app == "pagerank")
+            .map(|p| p.speedup)
+            .collect();
+        assert_eq!(twos.len(), 3);
+        let spread = twos.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            / twos.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread < 1.5, "2xlarge trio should cluster, spread {spread}");
+    }
+}

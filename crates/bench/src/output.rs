@@ -1,0 +1,103 @@
+//! Plain-text table printing and JSON result dumping.
+
+use std::path::Path;
+
+/// Print a fixed-width table: a header row and data rows.
+///
+/// # Panics
+/// Panics if any row's length differs from the header's.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(header.to_vec());
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for row in rows {
+        line(row.iter().map(|s| s.as_str()).collect());
+    }
+}
+
+/// Serialize `value` as pretty JSON into `dir/name.json` (creating the
+/// directory), if `dir` is provided. Errors are reported, not fatal — a
+/// read-only filesystem must not kill an experiment run.
+pub fn write_json<T: serde::Serialize>(dir: Option<&Path>, name: &str, value: &T) {
+    let Some(dir) = dir else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[wrote {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Format a float with 3 decimals (the tables' standard cell format).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(12.34), "12.3%");
+    }
+
+    #[test]
+    fn print_table_accepts_consistent_rows() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn print_table_rejects_ragged_rows() {
+        print_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn write_json_roundtrip() {
+        let dir = std::env::temp_dir().join("hetgraph_bench_test");
+        write_json(Some(dir.as_path()), "sample", &vec![1, 2, 3]);
+        let read = std::fs::read_to_string(dir.join("sample.json")).unwrap();
+        assert!(read.contains('2'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_json_none_is_noop() {
+        write_json(None, "x", &1);
+    }
+}

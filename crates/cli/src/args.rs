@@ -1,0 +1,180 @@
+//! Minimal dependency-free flag parsing.
+//!
+//! The workspace policy keeps the dependency tree to the approved set, so
+//! instead of `clap` the CLI uses this small `--key value` parser: flags
+//! are collected into a map, values are fetched with typed accessors, and
+//! unknown flags are reported as errors (catching typos, the main thing a
+//! real parser buys).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+/// CLI errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Flags {
+    /// Parse `args` (everything after the subcommand). `allowed` is the
+    /// set of recognized flag names (without `--`).
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
+        let mut values = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(CliError(format!(
+                    "unexpected argument {a:?} (flags are --key value)"
+                )));
+            };
+            if !allowed.contains(&key) {
+                return Err(CliError(format!(
+                    "unknown flag --{key}; expected one of: {}",
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let Some(value) = it.next() else {
+                return Err(CliError(format!("flag --{key} needs a value")));
+            };
+            if values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(CliError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(Flags { values })
+    }
+
+    /// Raw string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// Required string value.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+
+    /// Optional typed value.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(s) => s
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| CliError(format!("flag --{key}: cannot parse {s:?}"))),
+        }
+    }
+
+    /// Typed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        Ok(self.get_parsed(key)?.unwrap_or(default))
+    }
+
+    /// Required typed value.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
+        self.require(key)?
+            .parse::<T>()
+            .map_err(|_| CliError(format!("flag --{key}: cannot parse {:?}", self.get(key))))
+    }
+
+    /// Comma-separated `f64` list.
+    pub fn get_f64_list(&self, key: &str) -> Result<Option<Vec<f64>>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(s) => s
+                .split(',')
+                .map(|tok| {
+                    tok.trim()
+                        .parse::<f64>()
+                        .map_err(|_| CliError(format!("flag --{key}: bad number {tok:?}")))
+                })
+                .collect::<Result<Vec<f64>, CliError>>()
+                .map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_known_flags() {
+        let f = Flags::parse(
+            &argv(&["--vertices", "100", "--alpha", "2.1"]),
+            &["vertices", "alpha"],
+        )
+        .unwrap();
+        assert_eq!(f.require_parsed::<u32>("vertices").unwrap(), 100);
+        assert_eq!(f.require_parsed::<f64>("alpha").unwrap(), 2.1);
+        assert_eq!(f.get_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let err = Flags::parse(&argv(&["--bogus", "1"]), &["vertices"]).unwrap_err();
+        assert!(err.0.contains("unknown flag --bogus"));
+        assert!(err.0.contains("--vertices"));
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(Flags::parse(&argv(&["--a"]), &["a"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(Flags::parse(&argv(&["--a", "1", "--a", "2"]), &["a"])
+            .unwrap_err()
+            .0
+            .contains("twice"));
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        assert!(Flags::parse(&argv(&["oops"]), &["a"])
+            .unwrap_err()
+            .0
+            .contains("unexpected"));
+    }
+
+    #[test]
+    fn typed_errors_are_informative() {
+        let f = Flags::parse(&argv(&["--n", "abc"]), &["n"]).unwrap();
+        assert!(f
+            .require_parsed::<u32>("n")
+            .unwrap_err()
+            .0
+            .contains("cannot parse"));
+        assert!(f
+            .require("missing")
+            .unwrap_err()
+            .0
+            .contains("missing required"));
+    }
+
+    #[test]
+    fn f64_lists() {
+        let f = Flags::parse(&argv(&["--w", "1.0, 2.5,3"]), &["w"]).unwrap();
+        assert_eq!(f.get_f64_list("w").unwrap().unwrap(), vec![1.0, 2.5, 3.0]);
+        assert!(f.get_f64_list("absent").unwrap().is_none());
+    }
+}

@@ -1,0 +1,466 @@
+//! Subcommand implementations.
+
+use std::path::Path;
+
+use hetgraph_apps::{standard_apps, StandardApp};
+use hetgraph_cluster::Cluster;
+use hetgraph_core::degree::DegreeHistogram;
+use hetgraph_core::{io, Graph};
+use hetgraph_gen::{
+    fit_alpha, uniform, BarabasiAlbertConfig, NaturalGraph, PowerLawConfig, ProxySet, RmatConfig,
+    SmallWorldConfig,
+};
+use hetgraph_partition::{MachineWeights, PartitionMetrics, PartitionerKind};
+use hetgraph_profile::{CcrPool, PriorWorkEstimator};
+
+use crate::args::{CliError, Flags};
+
+/// Load a graph from `--input FILE` (binary `.hgb` or SNAP-style text).
+fn load_graph(path: &str) -> Result<Graph, CliError> {
+    let p = Path::new(path);
+    let result = if p.extension().is_some_and(|e| e == "hgb") {
+        io::load_binary(p)
+    } else {
+        std::fs::File::open(p)
+            .map_err(hetgraph_core::CoreError::from)
+            .and_then(|f| io::read_text(f, None))
+            .map(Graph::from_edge_list)
+    };
+    result.map_err(|e| CliError(format!("cannot load {path}: {e}")))
+}
+
+/// Save a graph to `--out FILE` (binary when the extension is `.hgb`).
+fn save_graph(path: &str, graph: &Graph) -> Result<(), CliError> {
+    let p = Path::new(path);
+    let result = if p.extension().is_some_and(|e| e == "hgb") {
+        io::save_binary(p, graph)
+    } else {
+        std::fs::File::create(p)
+            .map_err(hetgraph_core::CoreError::from)
+            .and_then(|f| io::write_text(f, graph))
+    };
+    result.map_err(|e| CliError(format!("cannot write {path}: {e}")))
+}
+
+/// Resolve `--cluster case1|case2|case3`.
+fn parse_cluster(name: &str) -> Result<Cluster, CliError> {
+    match name {
+        "case1" => Ok(Cluster::case1()),
+        "case2" => Ok(Cluster::case2()),
+        "case3" => Ok(Cluster::case3()),
+        other => Err(CliError(format!(
+            "unknown cluster {other:?}; expected case1, case2, or case3"
+        ))),
+    }
+}
+
+/// Resolve `--app`.
+fn parse_app(name: &str) -> Result<StandardApp, CliError> {
+    standard_apps()
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| {
+            CliError(format!(
+                "unknown app {name:?}; expected one of: pagerank, coloring, connected_components, triangle_count"
+            ))
+        })
+}
+
+/// Resolve `--algorithm`.
+fn parse_partitioner(name: &str) -> Result<PartitionerKind, CliError> {
+    PartitionerKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| {
+            CliError(format!(
+                "unknown algorithm {name:?}; expected one of: random, oblivious, grid, hybrid, ginger"
+            ))
+        })
+}
+
+/// `hetgraph generate` — write a synthetic graph to a file.
+pub fn generate(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "family",
+            "vertices",
+            "edges",
+            "alpha",
+            "neighbors",
+            "beta",
+            "seed",
+            "out",
+            "natural",
+            "scale",
+        ],
+    )?;
+    let seed: u64 = flags.get_or("seed", 42)?;
+    let out = flags.require("out")?;
+    let family = flags.get("family").unwrap_or("powerlaw");
+    let graph = match family {
+        "powerlaw" => {
+            let n: u32 = flags.require_parsed("vertices")?;
+            let alpha: f64 = flags.get_or("alpha", 2.1)?;
+            PowerLawConfig::new(n, alpha).generate(seed)
+        }
+        "rmat" => {
+            let n: u32 = flags.require_parsed("vertices")?;
+            let m: usize = flags.require_parsed("edges")?;
+            RmatConfig::natural(n, m).generate(seed)
+        }
+        "ba" => {
+            let n: u32 = flags.require_parsed("vertices")?;
+            let m: u32 = flags.get_or("edges", 3u32)?;
+            BarabasiAlbertConfig::new(n, m).generate(seed)
+        }
+        "smallworld" => {
+            let n: u32 = flags.require_parsed("vertices")?;
+            let k: u32 = flags.get_or("neighbors", 4u32)?;
+            let beta: f64 = flags.get_or("beta", 0.1)?;
+            SmallWorldConfig::new(n, k, beta).generate(seed)
+        }
+        "gnm" => {
+            let n: u32 = flags.require_parsed("vertices")?;
+            let m: usize = flags.require_parsed("edges")?;
+            uniform::gnm(n, m, seed)
+        }
+        "natural" => {
+            let which = flags.require("natural")?;
+            let scale: u32 = flags.get_or("scale", 64u32)?;
+            if scale == 0 {
+                return Err(CliError("--scale must be positive".into()));
+            }
+            let spec = NaturalGraph::ALL
+                .into_iter()
+                .find(|g| g.name() == which)
+                .ok_or_else(|| CliError(format!("unknown natural graph {which:?}")))?;
+            spec.generate(scale)
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown family {other:?}; expected powerlaw, rmat, ba, smallworld, gnm, or natural"
+            )))
+        }
+    };
+    save_graph(out, &graph)?;
+    println!(
+        "wrote {}: {} vertices, {} edges",
+        out,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+/// `hetgraph alpha` — fit the power-law exponent (Eq. 7).
+pub fn alpha(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["input", "vertices", "edges"])?;
+    let (v, e) = match flags.get("input") {
+        Some(path) => {
+            let g = load_graph(path)?;
+            (g.num_vertices() as u64, g.num_edges() as u64)
+        }
+        None => (
+            flags.require_parsed::<u64>("vertices")?,
+            flags.require_parsed::<u64>("edges")?,
+        ),
+    };
+    let fit = fit_alpha(v, e).map_err(|err| CliError(format!("cannot fit alpha: {err}")))?;
+    println!(
+        "V = {v}, E = {e}, avg degree = {:.3}\nalpha = {:.4} (residual {:.2e}, {} iterations)",
+        e as f64 / v as f64,
+        fit.alpha,
+        fit.residual,
+        fit.iterations
+    );
+    let proxies = ProxySet::standard(1);
+    println!(
+        "covered by the standard proxy set: {} (closest proxy: {})",
+        if proxies.covers(fit.alpha) {
+            "yes"
+        } else {
+            "no — generate an extra proxy"
+        },
+        proxies.closest(fit.alpha).name,
+    );
+    Ok(())
+}
+
+/// `hetgraph stats` — degree statistics of a graph file.
+pub fn stats(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["input"])?;
+    let g = load_graph(flags.require("input")?)?;
+    let s = g.degree_stats();
+    println!(
+        "vertices: {}\nedges: {}\navg degree: {:.3}\nmax degree: {}\nisolated: {}\ndegree CV: {:.3}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.avg_degree(),
+        s.max,
+        s.isolated,
+        s.coefficient_of_variation(),
+    );
+    let h = DegreeHistogram::total_degrees(&g);
+    if let Some(a) = h.fit_alpha_ccdf(2) {
+        println!("empirical tail alpha (CCDF fit): {a:.3}");
+    }
+    Ok(())
+}
+
+/// `hetgraph partition` — partition a graph file and print quality metrics.
+pub fn partition(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["input", "machines", "algorithm", "weights"])?;
+    let g = load_graph(flags.require("input")?)?;
+    let machines: usize = flags.get_or("machines", 4usize)?;
+    if machines == 0 || machines > 64 {
+        return Err(CliError("--machines must be in 1..=64".into()));
+    }
+    let weights = match flags.get_f64_list("weights")? {
+        Some(w) => {
+            if w.len() != machines {
+                return Err(CliError(format!(
+                    "--weights has {} entries but --machines is {machines}",
+                    w.len()
+                )));
+            }
+            MachineWeights::new(&w)
+        }
+        None => MachineWeights::uniform(machines),
+    };
+    let kinds: Vec<PartitionerKind> = match flags.get("algorithm") {
+        Some(name) => vec![parse_partitioner(name)?],
+        None => PartitionerKind::ALL.to_vec(),
+    };
+    println!(
+        "{:10} {:>8} {:>10} {:>12} {:>13}",
+        "algorithm", "rf", "mirrors", "max_nl", "balance_err"
+    );
+    for kind in kinds {
+        let a = kind.build().partition(&g, &weights);
+        let m = PartitionMetrics::compute(&a, &weights);
+        println!(
+            "{:10} {:>8.3} {:>10} {:>12.3} {:>13.3}",
+            kind.name(),
+            m.replication_factor,
+            m.total_mirrors,
+            m.max_normalized_load,
+            m.weighted_balance_error
+        );
+    }
+    Ok(())
+}
+
+/// `hetgraph profile` — profile a cluster with synthetic proxies.
+pub fn profile(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["cluster", "scale"])?;
+    let cluster = parse_cluster(flags.get("cluster").unwrap_or("case2"))?;
+    let scale: u32 = flags.get_or("scale", 320u32)?;
+    if scale == 0 {
+        return Err(CliError("--scale must be positive".into()));
+    }
+    println!(
+        "profiling {} machines with the standard proxy set at 1/{scale} scale...\n",
+        cluster.len()
+    );
+    let pool = CcrPool::profile(&cluster, &ProxySet::standard(scale), &standard_apps());
+    let prior = PriorWorkEstimator::new().estimate(&cluster);
+    println!("{:24} {}", "app", "CCR per machine (slowest = 1.0)");
+    for set in pool.iter() {
+        let r: Vec<String> = set.ratios().iter().map(|x| format!("{x:.2}")).collect();
+        println!("{:24} [{}]", set.app(), r.join(", "));
+    }
+    let r: Vec<String> = prior.ratios().iter().map(|x| format!("{x:.2}")).collect();
+    println!("{:24} [{}]", "(prior: thread counts)", r.join(", "));
+    Ok(())
+}
+
+/// `hetgraph simulate` — run one app on one graph on one cluster.
+pub fn simulate(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &["input", "cluster", "app", "algorithm", "policy", "scale"],
+    )?;
+    let g = load_graph(flags.require("input")?)?;
+    let cluster = parse_cluster(flags.get("cluster").unwrap_or("case2"))?;
+    let app = parse_app(flags.get("app").unwrap_or("pagerank"))?;
+    let kind = parse_partitioner(flags.get("algorithm").unwrap_or("hybrid"))?;
+    let policy = flags.get("policy").unwrap_or("ccr");
+    let weights = match policy {
+        "default" => MachineWeights::uniform(cluster.len()),
+        "prior" => MachineWeights::from_thread_counts(&cluster),
+        "ccr" => {
+            let scale: u32 = flags.get_or("scale", 640u32)?;
+            let pool = CcrPool::profile(&cluster, &ProxySet::standard(scale.max(1)), &[app]);
+            MachineWeights::from_ccr(pool.ccr(app.name()).expect("just profiled").ratios())
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown policy {other:?}; expected default, prior, or ccr"
+            )))
+        }
+    };
+    let assignment = kind.build().partition(&g, &weights);
+    let engine = hetgraph_engine::SimEngine::new(&cluster);
+    let report = app.run(&engine, &g, &assignment);
+    println!("{report}");
+    println!(
+        "per-machine busy: [{}]",
+        report
+            .per_machine_busy_s
+            .iter()
+            .map(|s| format!("{s:.4}s"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("compute imbalance: {:.3}", report.compute_imbalance());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("hetgraph_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_stats_then_alpha_roundtrip() {
+        let path = tmp("pl.hgb");
+        generate(&argv(&[
+            "--family",
+            "powerlaw",
+            "--vertices",
+            "2000",
+            "--alpha",
+            "2.0",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        stats(&argv(&["--input", &path])).unwrap();
+        alpha(&argv(&["--input", &path])).unwrap();
+    }
+
+    #[test]
+    fn generate_text_format() {
+        let path = tmp("small.txt");
+        generate(&argv(&[
+            "--family",
+            "gnm",
+            "--vertices",
+            "50",
+            "--edges",
+            "100",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let g = load_graph(&path).unwrap();
+        assert_eq!(g.num_edges(), 100);
+    }
+
+    #[test]
+    fn partition_command_runs_all_algorithms() {
+        let path = tmp("part.hgb");
+        generate(&argv(&[
+            "--family",
+            "rmat",
+            "--vertices",
+            "1000",
+            "--edges",
+            "5000",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        partition(&argv(&["--input", &path, "--machines", "4"])).unwrap();
+        partition(&argv(&[
+            "--input",
+            &path,
+            "--machines",
+            "2",
+            "--algorithm",
+            "hybrid",
+            "--weights",
+            "1,3.5",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn partition_rejects_mismatched_weights() {
+        let path = tmp("part2.hgb");
+        generate(&argv(&[
+            "--family",
+            "gnm",
+            "--vertices",
+            "100",
+            "--edges",
+            "200",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let err = partition(&argv(&[
+            "--input",
+            &path,
+            "--machines",
+            "3",
+            "--weights",
+            "1,2",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("entries"));
+    }
+
+    #[test]
+    fn simulate_default_policy() {
+        let path = tmp("simulate.hgb");
+        generate(&argv(&[
+            "--family",
+            "powerlaw",
+            "--vertices",
+            "800",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        simulate(&argv(&[
+            "--input",
+            &path,
+            "--cluster",
+            "case3",
+            "--app",
+            "connected_components",
+            "--algorithm",
+            "random",
+            "--policy",
+            "default",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(parse_cluster("nope").unwrap_err().0.contains("case1"));
+        assert!(parse_app("nope").unwrap_err().0.contains("pagerank"));
+        assert!(parse_partitioner("nope").unwrap_err().0.contains("hybrid"));
+        assert!(load_graph("/definitely/missing")
+            .unwrap_err()
+            .0
+            .contains("cannot load"));
+    }
+
+    #[test]
+    fn alpha_from_counts() {
+        alpha(&argv(&["--vertices", "403394", "--edges", "3387388"])).unwrap();
+    }
+}

@@ -1,0 +1,67 @@
+//! `hetgraph` — command-line tools for the hetgraph workspace.
+//!
+//! ```text
+//! hetgraph generate  --family powerlaw|rmat|ba|smallworld|gnm|natural ... --out FILE
+//! hetgraph alpha     --input FILE | --vertices N --edges M
+//! hetgraph stats     --input FILE
+//! hetgraph partition --input FILE --machines K [--algorithm NAME] [--weights a,b,...]
+//! hetgraph profile   [--cluster case1|case2|case3] [--scale N]
+//! hetgraph simulate  --input FILE [--cluster C] [--app A] [--algorithm P] [--policy default|prior|ccr]
+//! ```
+//!
+//! Graph files: `.hgb` is the compact binary format; any other extension
+//! is SNAP-style text (`src<TAB>dst` per line, `#` comments).
+
+mod args;
+mod commands;
+
+const USAGE: &str = "\
+hetgraph <command> [--flag value ...]
+
+commands:
+  generate   write a synthetic graph to a file
+             --family powerlaw|rmat|ba|smallworld|gnm|natural  --out FILE
+             powerlaw: --vertices N [--alpha A]      rmat/gnm: --vertices N --edges M
+             ba: --vertices N [--edges M]            smallworld: --vertices N [--neighbors K] [--beta B]
+             natural: --natural amazon|citation|social_network|wiki [--scale S]
+             common: [--seed S]
+  alpha      fit the power-law exponent (paper Eq. 7)
+             --input FILE | --vertices N --edges M
+  stats      degree statistics of a graph file
+             --input FILE
+  partition  partition a graph and print quality metrics
+             --input FILE [--machines K] [--algorithm NAME] [--weights a,b,...]
+  profile    proxy-profile a cluster (prints the CCR pool)
+             [--cluster case1|case2|case3] [--scale N]
+  simulate   run one application on a simulated heterogeneous cluster
+             --input FILE [--cluster C] [--app A] [--algorithm P]
+             [--policy default|prior|ccr] [--scale N]
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let rest = &argv[1..];
+    let result = match command.as_str() {
+        "generate" => commands::generate(rest),
+        "alpha" => commands::alpha(rest),
+        "stats" => commands::stats(rest),
+        "partition" => commands::partition(rest),
+        "profile" => commands::profile(rest),
+        "simulate" => commands::simulate(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return;
+        }
+        other => Err(args::CliError(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hetgraph-cluster
+//!
+//! Heterogeneous machine and cluster models — the simulated substrate that
+//! replaces the paper's physical EC2 + Xeon testbed (see `DESIGN.md` for the
+//! substitution argument).
+//!
+//! - [`machine`] — [`MachineSpec`]: cores, frequency, per-core IPC, memory
+//!   bandwidth, reserved communication threads, power envelope, pricing.
+//! - [`catalog`] — Table I: the six EC2 instance types and the local Xeon
+//!   servers, plus the frequency-scaled "tiny ARM-like" node of Case 3.
+//! - [`perf`] — the roofline + Amdahl timing model: application work counts
+//!   (ops and bytes) → seconds on a given machine. This model is what makes
+//!   different applications scale differently with thread count (Fig 2),
+//!   which is the phenomenon the whole paper is about.
+//! - [`energy`] — static + dynamic power integration (replaces RAPL).
+//! - [`network`] — analytic communication model for mirror synchronization.
+//! - [`cluster`] — a set of machines with group structure (one profiling
+//!   run per machine *type*, as in Section III-B).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod cluster;
+pub mod energy;
+pub mod machine;
+pub mod network;
+pub mod perf;
+
+pub use cluster::Cluster;
+pub use energy::{EnergyModel, EnergyReport};
+pub use machine::MachineSpec;
+pub use network::NetworkModel;
+pub use perf::{AppProfile, GraphShape, WorkCounts};

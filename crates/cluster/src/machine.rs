@@ -1,0 +1,164 @@
+//! Machine specifications.
+
+/// Specification of one machine (physical server or cloud instance).
+///
+/// The fields split into three groups:
+///
+/// * **Visible configuration** — what the prior-work estimator reads:
+///   [`MachineSpec::hw_threads`] and the PowerGraph convention of reserving
+///   two threads for communication ([`MachineSpec::reserved_threads`]).
+/// * **Microarchitectural ground truth** — what actually determines graph
+///   processing speed in the performance model: frequency, per-core IPC,
+///   memory bandwidth. The prior-work estimator cannot see these; the
+///   paper's proxy profiling measures their combined effect.
+/// * **Operations data** — power envelope (for the energy model) and the
+///   hourly price (for the cost study; `None` for physical machines, which
+///   Table I lists as "N/A").
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MachineSpec {
+    /// Type name ("c4.2xlarge", "xeon_l", …). Machines with equal names
+    /// form one profiling group.
+    pub name: String,
+    /// Hardware threads (Table I "HW Threads").
+    pub hw_threads: u32,
+    /// Threads reserved for communication (2 in PowerGraph and in the
+    /// paper's prior-work formula `(4-2):(8-2)`).
+    pub reserved_threads: u32,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Per-core architectural factor: sustained giga-ops per GHz per
+    /// thread, normalized so a Haswell-class x86 core is 1.0.
+    pub ipc: f64,
+    /// Sustained memory bandwidth in GB/s (shared across threads).
+    pub mem_bw_gbps: f64,
+    /// NIC bandwidth in Gb/s.
+    pub nic_gbps: f64,
+    /// Idle (static) power draw in watts.
+    pub idle_power_w: f64,
+    /// Peak power draw at full utilization in watts.
+    pub peak_power_w: f64,
+    /// Hourly price in dollars (cloud instances only).
+    pub hourly_rate: Option<f64>,
+}
+
+impl MachineSpec {
+    /// Threads available for computation (Table I "Computing Threads"):
+    /// `hw_threads − reserved_threads`, minimum 1.
+    pub fn computing_threads(&self) -> u32 {
+        self.hw_threads.saturating_sub(self.reserved_threads).max(1)
+    }
+
+    /// Peak sequential compute rate of one thread in giga-ops/s.
+    pub fn thread_gops(&self) -> f64 {
+        self.freq_ghz * self.ipc
+    }
+
+    /// Validate invariants; used by constructors of higher-level types.
+    ///
+    /// # Panics
+    /// Panics on non-positive frequency/IPC/bandwidth or a power envelope
+    /// with `peak < idle`.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.hw_threads >= 1,
+            "{}: needs at least one hw thread",
+            self.name
+        );
+        assert!(self.freq_ghz > 0.0, "{}: non-positive frequency", self.name);
+        assert!(self.ipc > 0.0, "{}: non-positive ipc", self.name);
+        assert!(
+            self.mem_bw_gbps > 0.0,
+            "{}: non-positive memory bandwidth",
+            self.name
+        );
+        assert!(
+            self.nic_gbps > 0.0,
+            "{}: non-positive NIC bandwidth",
+            self.name
+        );
+        assert!(
+            self.peak_power_w >= self.idle_power_w && self.idle_power_w >= 0.0,
+            "{}: inconsistent power envelope",
+            self.name
+        );
+    }
+
+    /// A derived spec running at a different frequency (used to emulate the
+    /// frequency-scaled tiny servers of Case 3). Power scales with the
+    /// frequency ratio (dynamic power ∝ f at fixed voltage — a conservative
+    /// approximation).
+    pub fn at_frequency(&self, freq_ghz: f64, new_name: impl Into<String>) -> MachineSpec {
+        assert!(freq_ghz > 0.0, "frequency must be positive");
+        let ratio = freq_ghz / self.freq_ghz;
+        MachineSpec {
+            name: new_name.into(),
+            freq_ghz,
+            idle_power_w: self.idle_power_w,
+            peak_power_w: self.idle_power_w + (self.peak_power_w - self.idle_power_w) * ratio,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MachineSpec {
+        MachineSpec {
+            name: "test".into(),
+            hw_threads: 8,
+            reserved_threads: 2,
+            freq_ghz: 2.5,
+            ipc: 1.0,
+            mem_bw_gbps: 12.0,
+            nic_gbps: 10.0,
+            idle_power_w: 50.0,
+            peak_power_w: 120.0,
+            hourly_rate: Some(0.4),
+        }
+    }
+
+    #[test]
+    fn computing_threads_subtracts_reserved() {
+        assert_eq!(spec().computing_threads(), 6);
+    }
+
+    #[test]
+    fn computing_threads_never_zero() {
+        let mut s = spec();
+        s.hw_threads = 2;
+        assert_eq!(s.computing_threads(), 1);
+        s.hw_threads = 1;
+        assert_eq!(s.computing_threads(), 1);
+    }
+
+    #[test]
+    fn thread_gops() {
+        assert!((spec().thread_gops() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        spec().assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "power envelope")]
+    fn invalid_power_envelope_panics() {
+        let mut s = spec();
+        s.peak_power_w = 10.0;
+        s.assert_valid();
+    }
+
+    #[test]
+    fn frequency_scaling_reduces_dynamic_power() {
+        let base = spec();
+        let slow = base.at_frequency(1.25, "test_slow");
+        assert_eq!(slow.freq_ghz, 1.25);
+        assert_eq!(slow.idle_power_w, base.idle_power_w);
+        assert!(slow.peak_power_w < base.peak_power_w);
+        assert_eq!(slow.hw_threads, base.hw_threads);
+        assert_eq!(slow.name, "test_slow");
+    }
+}

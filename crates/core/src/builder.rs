@@ -1,0 +1,165 @@
+//! Fallible, configurable graph construction.
+
+use crate::{CoreError, Edge, EdgeList, Graph, VertexId};
+
+/// Builder for [`Graph`] with validation and cleaning options.
+///
+/// ```
+/// use hetgraph_core::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .dedup(true)
+///     .drop_self_loops(true)
+///     .add_edge(0, 1)
+///     .add_edge(1, 1) // self loop: dropped
+///     .add_edge(0, 1) // duplicate: dropped
+///     .add_edge(2, 3)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: u32,
+    edges: Vec<Edge>,
+    out_of_range: Option<(u64, u64)>,
+    drop_self_loops: bool,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Start building a graph over `num_vertices` vertices.
+    pub fn new(num_vertices: u32) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            out_of_range: None,
+            drop_self_loops: false,
+            dedup: false,
+        }
+    }
+
+    /// Preallocate edge capacity.
+    pub fn with_edge_capacity(mut self, capacity: usize) -> Self {
+        self.edges.reserve(capacity);
+        self
+    }
+
+    /// Drop self loops at build time.
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Sort and remove duplicate edges at build time. Note this changes the
+    /// edge order to sorted order.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Add a directed edge. Out-of-range endpoints are recorded and reported
+    /// as an error by [`GraphBuilder::build`].
+    pub fn add_edge(mut self, src: VertexId, dst: VertexId) -> Self {
+        self.push_edge(src, dst);
+        self
+    }
+
+    /// Add a directed edge through a mutable reference (loop-friendly form
+    /// of [`GraphBuilder::add_edge`]).
+    pub fn push_edge(&mut self, src: VertexId, dst: VertexId) {
+        if src >= self.num_vertices || dst >= self.num_vertices {
+            let bad = if src >= self.num_vertices { src } else { dst };
+            self.out_of_range
+                .get_or_insert((bad as u64, self.num_vertices as u64));
+            return;
+        }
+        self.edges.push(Edge::new(src, dst));
+    }
+
+    /// Add many edges at once.
+    pub fn extend_edges(mut self, iter: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        for (s, d) in iter {
+            self.push_edge(s, d);
+        }
+        self
+    }
+
+    /// Number of edges currently staged (after any that were rejected).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finish building.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::VertexOutOfRange`] if any added edge referenced
+    /// a vertex outside `[0, num_vertices)`.
+    pub fn build(self) -> Result<Graph, CoreError> {
+        if let Some((vertex, num_vertices)) = self.out_of_range {
+            return Err(CoreError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            });
+        }
+        let mut list = EdgeList::from_edges(self.num_vertices, self.edges);
+        if self.drop_self_loops {
+            list.remove_self_loops();
+        }
+        if self.dedup {
+            list.sort_dedup();
+        }
+        Ok(Graph::from_edge_list(list))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_clean_graph() {
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = GraphBuilder::new(2).add_edge(0, 9).build().unwrap_err();
+        match err {
+            CoreError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                assert_eq!(vertex, 9);
+                assert_eq!(num_vertices, 2);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn cleaning_options() {
+        let g = GraphBuilder::new(3)
+            .drop_self_loops(true)
+            .dedup(true)
+            .extend_edges([(0, 0), (0, 1), (0, 1), (2, 1)])
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn staged_edges_tracks_accepted_only() {
+        let mut b = GraphBuilder::new(2);
+        b.push_edge(0, 1);
+        b.push_edge(0, 7); // rejected
+        assert_eq!(b.staged_edges(), 1);
+        assert!(b.build().is_err());
+    }
+}

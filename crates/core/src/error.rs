@@ -1,0 +1,90 @@
+//! Error type for the graph substrate.
+
+/// Errors produced while building, validating, or (de)serializing graphs.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An edge references a vertex id outside `[0, num_vertices)`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        num_vertices: u64,
+    },
+    /// The graph would exceed the `u32` vertex-id space.
+    TooManyVertices(u64),
+    /// A parse error while reading a text edge list.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what failed to parse.
+        message: String,
+    },
+    /// A malformed binary graph file.
+    BadBinaryFormat(String),
+    /// An underlying IO error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex id {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            CoreError::TooManyVertices(n) => {
+                write!(f, "{n} vertices exceeds the u32 vertex-id space")
+            }
+            CoreError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            CoreError::BadBinaryFormat(msg) => write!(f, "bad binary graph file: {msg}"),
+            CoreError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+        let e = CoreError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e: CoreError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,104 @@
+//! # hetgraph-core
+//!
+//! Graph substrate shared by every other `hetgraph` crate.
+//!
+//! This crate provides the data structures that the rest of the system is
+//! built on:
+//!
+//! - [`Graph`] — an immutable directed graph with both out- and in-adjacency
+//!   in CSR (compressed sparse row) form, built through [`GraphBuilder`].
+//! - [`EdgeList`] / [`Edge`] — the streaming representation consumed by the
+//!   partitioners (PowerGraph-style partitioning assigns *edges*, so the edge
+//!   list is the canonical unit of work).
+//! - [`rng`] — a deterministic, seedable PRNG family (SplitMix64 and
+//!   Xoshiro256**) plus avalanche hash functions. Every stochastic component
+//!   in the workspace draws from these so that experiments are exactly
+//!   reproducible across platforms, which is a prerequisite for the
+//!   paper-reproduction harness.
+//! - [`degree`] — degree distributions, histograms, and the tail statistics
+//!   used to check that synthetic graphs follow the intended power law.
+//! - [`stats`] — small numeric helpers (means, geomeans, percentiles,
+//!   relative errors) used by the profiling and evaluation crates.
+//! - [`bitset`] — a compact fixed-size bitset used by the engine for active
+//!   vertex sets.
+//! - [`io`] — text and binary edge-list serialization.
+//!
+//! The substrate deliberately contains no policy: partitioning, machine
+//! modeling, and execution live in the downstream crates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitset;
+pub mod builder;
+pub mod csr;
+pub mod degree;
+pub mod edge_list;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod rng;
+pub mod stats;
+pub mod transform;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use degree::DegreeStats;
+pub use edge_list::{Edge, EdgeList};
+pub use error::CoreError;
+pub use graph::Graph;
+pub use rng::{hash64, SplitMix64, Xoshiro256};
+
+/// Identifier of a vertex. Graphs in this workspace are bounded by `u32`
+/// vertex counts (the paper's largest graph has ~4.8 M vertices), which
+/// halves the memory footprint of adjacency data relative to `usize`.
+pub type VertexId = u32;
+
+/// Identifier of a machine (partition) in a cluster.
+///
+/// A newtype rather than a bare integer so that machine indices cannot be
+/// accidentally mixed with vertex ids in partitioning code.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct MachineId(pub u16);
+
+impl MachineId {
+    /// Machine id as a `usize` index into per-machine tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<usize> for MachineId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u16::MAX as usize, "machine index overflows u16");
+        MachineId(v as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_id_roundtrip() {
+        let m = MachineId::from(7usize);
+        assert_eq!(m.index(), 7);
+        assert_eq!(m.to_string(), "m7");
+    }
+
+    #[test]
+    fn machine_id_ordering_follows_index() {
+        assert!(MachineId(1) < MachineId(2));
+        assert_eq!(MachineId(3), MachineId::from(3usize));
+    }
+}

@@ -1,0 +1,187 @@
+//! Small numeric helpers shared by the profiling and evaluation crates.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean. Returns 0 for an empty slice.
+///
+/// Speedup ratios are summarized with geometric means (the standard for
+/// normalized performance numbers) throughout the evaluation harness.
+///
+/// # Panics
+/// Panics if any value is non-positive: geometric means of ratios are only
+/// meaningful over positive values, and a zero would silently poison the
+/// summary.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Population standard deviation. Returns 0 for slices of length < 2.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Relative error `|estimate - truth| / |truth|`.
+///
+/// # Panics
+/// Panics if `truth == 0`.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    assert!(truth != 0.0, "relative error undefined for zero truth");
+    (estimate - truth).abs() / truth.abs()
+}
+
+/// Mean absolute percentage error over paired (estimate, truth) samples,
+/// in percent. This is the paper's accuracy metric for CCR estimation
+/// ("92% accuracy" = 8% MAPE).
+pub fn mape(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    100.0
+        * mean(
+            &pairs
+                .iter()
+                .map(|&(e, t)| relative_error(e, t))
+                .collect::<Vec<_>>(),
+        )
+}
+
+/// Percentile via linear interpolation on sorted data; `p` in `[0, 100]`.
+///
+/// # Panics
+/// Panics on empty input or out-of-range `p`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Normalize a weight vector to sum to 1.
+///
+/// # Panics
+/// Panics if the sum is not positive or any weight is negative.
+pub fn normalize(weights: &[f64]) -> Vec<f64> {
+    let sum: f64 = weights.iter().sum();
+    assert!(sum > 0.0, "cannot normalize weights summing to {sum}");
+    weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0, "negative weight {w}");
+            w / sum
+        })
+        .collect()
+}
+
+/// Maximum over an `f64` iterator (NaN-free input assumed). `None` if empty.
+pub fn fmax(xs: impl IntoIterator<Item = f64>) -> Option<f64> {
+    xs.into_iter().fold(None, |acc, x| match acc {
+        None => Some(x),
+        Some(a) => Some(a.max(x)),
+    })
+}
+
+/// Minimum over an `f64` iterator (NaN-free input assumed). `None` if empty.
+pub fn fmin(xs: impl IntoIterator<Item = f64>) -> Option<f64> {
+    xs.into_iter().fold(None, |acc, x| match acc {
+        None => Some(x),
+        Some(a) => Some(a.min(x)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn relative_error_basic() {
+        assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(0.9, 1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_matches_hand_computation() {
+        let pairs = [(1.1, 1.0), (1.8, 2.0)];
+        // errors: 10% and 10% -> MAPE 10%
+        assert!((mape(&pairs) - 10.0).abs() < 1e-9);
+        assert_eq!(mape(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let w = normalize(&[1.0, 3.0]);
+        assert!((w[0] - 0.25).abs() < 1e-12);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalize")]
+    fn normalize_rejects_zero_sum() {
+        normalize(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fmax_fmin() {
+        assert_eq!(fmax([1.0, 3.0, 2.0]), Some(3.0));
+        assert_eq!(fmin([1.0, 3.0, 2.0]), Some(1.0));
+        assert_eq!(fmax(std::iter::empty::<f64>()), None);
+    }
+}

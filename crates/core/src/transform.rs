@@ -1,0 +1,168 @@
+//! Graph transformations: induced subgraphs, vertex relabeling, sampling.
+//!
+//! Used by experiments that need to shrink or reshape graphs while
+//! preserving (or deliberately destroying) structure — e.g. checking that
+//! CCR profiling is insensitive to vertex-id ordering, or extracting the
+//! largest component for diameter-sensitive runs.
+
+use crate::rng::Xoshiro256;
+use crate::{Edge, EdgeList, Graph, VertexId};
+
+/// The subgraph induced by `keep` (vertices are relabeled densely in the
+/// order they appear in `keep`). Edges with either endpoint outside `keep`
+/// are dropped.
+///
+/// # Panics
+/// Panics if `keep` contains an out-of-range or duplicate vertex.
+pub fn induced_subgraph(graph: &Graph, keep: &[VertexId]) -> Graph {
+    let n = graph.num_vertices();
+    let mut mapping: Vec<u32> = vec![u32::MAX; n as usize];
+    for (new_id, &v) in keep.iter().enumerate() {
+        assert!(v < n, "vertex {v} out of range");
+        assert!(
+            mapping[v as usize] == u32::MAX,
+            "vertex {v} listed twice in keep set"
+        );
+        mapping[v as usize] = new_id as u32;
+    }
+    let mut edges = Vec::new();
+    for e in graph.edges() {
+        let (s, d) = (mapping[e.src as usize], mapping[e.dst as usize]);
+        if s != u32::MAX && d != u32::MAX {
+            edges.push(Edge::new(s, d));
+        }
+    }
+    Graph::from_edge_list(EdgeList::from_edges(keep.len() as u32, edges))
+}
+
+/// Relabel vertices by a permutation: vertex `v` becomes `perm[v]`.
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..num_vertices`.
+pub fn relabel(graph: &Graph, perm: &[VertexId]) -> Graph {
+    let n = graph.num_vertices();
+    assert_eq!(
+        perm.len(),
+        n as usize,
+        "permutation must cover every vertex"
+    );
+    let mut seen = vec![false; n as usize];
+    for &p in perm {
+        assert!(p < n, "permutation target {p} out of range");
+        assert!(!seen[p as usize], "permutation target {p} repeated");
+        seen[p as usize] = true;
+    }
+    let edges = graph
+        .edges()
+        .iter()
+        .map(|e| Edge::new(perm[e.src as usize], perm[e.dst as usize]))
+        .collect();
+    Graph::from_edge_list(EdgeList::from_edges(n, edges))
+}
+
+/// A uniformly random permutation relabeling (destroys any id-locality the
+/// generator left behind; deterministic per seed).
+pub fn shuffle_labels(graph: &Graph, seed: u64) -> Graph {
+    let mut perm: Vec<u32> = (0..graph.num_vertices()).collect();
+    Xoshiro256::new(seed).shuffle(&mut perm);
+    relabel(graph, &perm)
+}
+
+/// Uniform edge sample: keep each edge independently with probability `p`
+/// (deterministic per seed). Vertex count is preserved.
+///
+/// # Panics
+/// Panics unless `p ∈ [0, 1]`.
+pub fn sample_edges(graph: &Graph, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = Xoshiro256::new(seed);
+    let edges = graph
+        .edges()
+        .iter()
+        .filter(|_| rng.bernoulli(p))
+        .copied()
+        .collect();
+    Graph::from_edge_list(EdgeList::from_edges(graph.num_vertices(), edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        Graph::from_edge_list(EdgeList::from_edges(
+            4,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(1, 3),
+                Edge::new(2, 3),
+            ],
+        ))
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = diamond();
+        let sub = induced_subgraph(&g, &[0, 1, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        // Edges (0,1) and (1,3) survive, relabeled to (0,1) and (1,2).
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.out_neighbors(0).contains(&1));
+        assert!(sub.out_neighbors(1).contains(&2));
+    }
+
+    #[test]
+    fn induced_subgraph_empty_keep() {
+        let sub = induced_subgraph(&diamond(), &[]);
+        assert_eq!(sub.num_vertices(), 0);
+        assert_eq!(sub.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_keep_rejected() {
+        induced_subgraph(&diamond(), &[0, 0]);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = diamond();
+        let perm = vec![3u32, 2, 1, 0]; // reverse
+        let r = relabel(&g, &perm);
+        assert_eq!(r.num_edges(), g.num_edges());
+        // Degree multiset is invariant under relabeling.
+        let mut d1: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        let mut d2: Vec<usize> = r.vertices().map(|v| r.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+        // Specific edge: (0,1) -> (3,2).
+        assert!(r.out_neighbors(3).contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn bad_permutation_rejected() {
+        relabel(&diamond(), &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_structure_preserving() {
+        let g = diamond();
+        let a = shuffle_labels(&g, 9);
+        let b = shuffle_labels(&g, 9);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn sample_edges_extremes() {
+        let g = diamond();
+        assert_eq!(sample_edges(&g, 1.0, 1).num_edges(), 4);
+        assert_eq!(sample_edges(&g, 0.0, 1).num_edges(), 0);
+        let half = sample_edges(&g, 0.5, 3);
+        assert!(half.num_edges() <= 4);
+        assert_eq!(half.num_vertices(), 4);
+    }
+}

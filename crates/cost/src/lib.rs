@@ -1,0 +1,19 @@
+//! # hetgraph-cost
+//!
+//! Cost-efficiency projection for cloud machine selection (Section V-C,
+//! Fig 11).
+//!
+//! The paper's third use of proxy profiling: without running a single real
+//! workload, the synthetic-graph profile of each candidate machine yields
+//! both its expected speedup and — multiplied by the hourly rate — its
+//! *cost per task*, exposing which advertised instance types are actually
+//! economical for graph workloads.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod pareto;
+pub mod study;
+
+pub use pareto::{pareto_frontier, Dominance};
+pub use study::{CostPoint, CostStudy};

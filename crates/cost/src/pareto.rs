@@ -1,0 +1,85 @@
+//! Pareto-frontier extraction over (performance ↑, cost ↓) points.
+
+/// Relation between two (speedup, cost) points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// First point dominates (≥ speedup, ≤ cost, strictly better in one).
+    Dominates,
+    /// First point is dominated.
+    Dominated,
+    /// Neither dominates.
+    Incomparable,
+}
+
+/// Compare `(speedup, cost)` points: higher speedup is better, lower cost
+/// is better.
+pub fn dominance(a: (f64, f64), b: (f64, f64)) -> Dominance {
+    let better_speed = a.0 >= b.0;
+    let better_cost = a.1 <= b.1;
+    let strictly = a.0 > b.0 || a.1 < b.1;
+    if better_speed && better_cost && strictly {
+        Dominance::Dominates
+    } else if b.0 >= a.0 && b.1 <= a.1 && (b.0 > a.0 || b.1 < a.1) {
+        Dominance::Dominated
+    } else {
+        Dominance::Incomparable
+    }
+}
+
+/// Indices of the non-dominated points, in input order.
+///
+/// Duplicated points are all kept (none strictly dominates the other).
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, &b)| j != i && dominance(points[i], b) == Dominance::Dominated)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_cases() {
+        assert_eq!(dominance((2.0, 1.0), (1.0, 2.0)), Dominance::Dominates);
+        assert_eq!(dominance((1.0, 2.0), (2.0, 1.0)), Dominance::Dominated);
+        assert_eq!(dominance((2.0, 2.0), (1.0, 1.0)), Dominance::Incomparable);
+        assert_eq!(dominance((1.0, 1.0), (1.0, 1.0)), Dominance::Incomparable);
+    }
+
+    #[test]
+    fn frontier_drops_dominated() {
+        // (speedup, cost): the 3rd point is dominated by the 1st.
+        let pts = [(2.0, 1.0), (4.0, 3.0), (1.5, 1.5), (1.0, 0.5)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn single_point_is_frontier() {
+        assert_eq!(pareto_frontier(&[(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn identical_points_all_survive() {
+        let pts = [(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn chain_of_tradeoffs_all_survive() {
+        // Strictly increasing speedup and cost: everything is Pareto.
+        let pts: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, i as f64 * 0.3)).collect();
+        assert_eq!(pareto_frontier(&pts).len(), 5);
+    }
+}

@@ -1,0 +1,183 @@
+//! The partition-aware graph view.
+//!
+//! Work attribution needs to know, for every adjacency slot the engine
+//! touches, *which machine owns the underlying edge*. The CSR adjacency in
+//! `hetgraph-core` stores neighbor ids only, so this module builds machine
+//! arrays exactly aligned with each CSR's `targets` array by replaying the
+//! same counting sort the CSR construction used.
+
+use hetgraph_core::{Graph, MachineId, VertexId};
+use hetgraph_partition::PartitionAssignment;
+
+/// A graph plus its partition, with per-adjacency-slot edge ownership.
+pub struct DistributedGraph<'a> {
+    graph: &'a Graph,
+    assignment: &'a PartitionAssignment,
+    /// Machine of the edge behind `out_csr.targets()[k]`.
+    out_slot_machine: Vec<u16>,
+    /// Machine of the edge behind `in_csr.targets()[k]`.
+    in_slot_machine: Vec<u16>,
+}
+
+impl<'a> DistributedGraph<'a> {
+    /// Build the aligned ownership arrays.
+    ///
+    /// # Panics
+    /// Panics if the assignment does not cover exactly this graph's edges.
+    pub fn new(graph: &'a Graph, assignment: &'a PartitionAssignment) -> Self {
+        assert_eq!(
+            assignment.edge_machines().len(),
+            graph.num_edges(),
+            "assignment must cover the graph"
+        );
+        let out_slot_machine = align(graph, assignment, /*by_src=*/ true);
+        let in_slot_machine = align(graph, assignment, /*by_src=*/ false);
+        DistributedGraph {
+            graph,
+            assignment,
+            out_slot_machine,
+            in_slot_machine,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The partition.
+    pub fn assignment(&self) -> &PartitionAssignment {
+        self.assignment
+    }
+
+    /// Out-neighbors of `v` with the owning machine of each edge.
+    pub fn out_neighbors_owned(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, MachineId)> + '_ {
+        let offsets = self.graph.out_csr().offsets();
+        let (lo, hi) = (offsets[v as usize], offsets[v as usize + 1]);
+        self.graph.out_csr().targets()[lo..hi]
+            .iter()
+            .zip(&self.out_slot_machine[lo..hi])
+            .map(|(&u, &m)| (u, MachineId(m)))
+    }
+
+    /// In-neighbors of `v` with the owning machine of each edge.
+    pub fn in_neighbors_owned(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, MachineId)> + '_ {
+        let offsets = self.graph.in_csr().offsets();
+        let (lo, hi) = (offsets[v as usize], offsets[v as usize + 1]);
+        self.graph.in_csr().targets()[lo..hi]
+            .iter()
+            .zip(&self.in_slot_machine[lo..hi])
+            .map(|(&u, &m)| (u, MachineId(m)))
+    }
+}
+
+/// Replay the CSR counting sort to produce, for each adjacency slot, the
+/// machine of the edge that filled it. Must iterate edges in exactly the
+/// order `Csr::build` does (graph edge order).
+fn align(graph: &Graph, assignment: &PartitionAssignment, by_src: bool) -> Vec<u16> {
+    let csr = if by_src {
+        graph.out_csr()
+    } else {
+        graph.in_csr()
+    };
+    let mut cursor: Vec<usize> = csr.offsets()[..csr.offsets().len() - 1].to_vec();
+    let mut slot_machine = vec![0u16; graph.num_edges()];
+    for (idx, e) in graph.edges().iter().enumerate() {
+        let key = if by_src { e.src } else { e.dst } as usize;
+        slot_machine[cursor[key]] = assignment.edge_machines()[idx];
+        cursor[key] += 1;
+    }
+    slot_machine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph_core::{Edge, EdgeList};
+
+    fn setup() -> (Graph, Vec<u16>) {
+        let g = Graph::from_edge_list(EdgeList::from_edges(
+            4,
+            vec![
+                Edge::new(0, 1), // e0 -> m0
+                Edge::new(0, 2), // e1 -> m1
+                Edge::new(1, 2), // e2 -> m0
+                Edge::new(3, 2), // e3 -> m1
+            ],
+        ));
+        (g, vec![0, 1, 0, 1])
+    }
+
+    #[test]
+    fn out_slots_carry_edge_machines() {
+        let (g, ms) = setup();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
+        let d = DistributedGraph::new(&g, &a);
+        let got: Vec<_> = d.out_neighbors_owned(0).collect();
+        assert_eq!(got, vec![(1, MachineId(0)), (2, MachineId(1))]);
+    }
+
+    #[test]
+    fn in_slots_carry_edge_machines() {
+        let (g, ms) = setup();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
+        let d = DistributedGraph::new(&g, &a);
+        // In-neighbors of 2: from edges e1 (0, m1), e2 (1, m0), e3 (3, m1).
+        let mut got: Vec<_> = d.in_neighbors_owned(2).collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(0, MachineId(1)), (1, MachineId(0)), (3, MachineId(1))]
+        );
+    }
+
+    #[test]
+    fn ownership_consistent_between_directions() {
+        // The same edge must report the same machine from both endpoints.
+        let (g, ms) = setup();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
+        let d = DistributedGraph::new(&g, &a);
+        // Edge (1,2) seen from 1's out list and 2's in list.
+        let from_out = d
+            .out_neighbors_owned(1)
+            .find(|&(u, _)| u == 2)
+            .expect("edge exists")
+            .1;
+        let from_in = d
+            .in_neighbors_owned(2)
+            .find(|&(u, _)| u == 1)
+            .expect("edge exists")
+            .1;
+        assert_eq!(from_out, from_in);
+    }
+
+    #[test]
+    fn duplicate_edges_keep_individual_owners() {
+        let g = Graph::from_edge_list(EdgeList::from_edges(
+            2,
+            vec![Edge::new(0, 1), Edge::new(0, 1)],
+        ));
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 1]);
+        let d = DistributedGraph::new(&g, &a);
+        let machines: Vec<_> = d.out_neighbors_owned(0).map(|(_, m)| m.0).collect();
+        assert_eq!(machines.len(), 2);
+        let mut sorted = machines.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the graph")]
+    fn mismatched_assignment_panics() {
+        let (g, _) = setup();
+        let smaller = Graph::from_edge_list(EdgeList::from_edges(2, vec![Edge::new(0, 1)]));
+        let a = PartitionAssignment::from_edge_machines(&smaller, 2, vec![0]);
+        DistributedGraph::new(&g, &a);
+    }
+}

@@ -1,0 +1,35 @@
+//! # hetgraph-engine
+//!
+//! A PowerGraph-like Gather-Apply-Scatter (GAS) engine executing on a
+//! *simulated* heterogeneous cluster.
+//!
+//! The engine really runs the algorithm: vertex programs compute real
+//! PageRank values, real component labels, real colors, real triangle
+//! counts over the real partition. What is simulated is *time*: the engine
+//! counts the work each machine performs in each superstep (every gather
+//! visit, apply, scatter visit, and mirror synchronization, attributed to
+//! the machine that owns the edge or masters the vertex) and converts
+//! those counts to seconds and joules through the calibrated machine
+//! models in `hetgraph-cluster`. See `DESIGN.md` for why this substitution
+//! preserves the paper's phenomena.
+//!
+//! - [`program`] — the [`GasProgram`] trait (Jacobi-style functional GAS).
+//! - [`distributed`] — [`DistributedGraph`]: the partition-aware view that
+//!   knows which machine owns each CSR adjacency slot.
+//! - [`sim`] — [`SimEngine`]: the BSP superstep loop with timing, energy,
+//!   and communication accounting.
+//! - [`report`] — [`SimReport`]: everything the evaluation harness reads.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distributed;
+pub mod parallel;
+pub mod program;
+pub mod report;
+pub mod sim;
+
+pub use distributed::DistributedGraph;
+pub use program::{ActiveInit, Direction, GasProgram};
+pub use report::{SimReport, StepRecord};
+pub use sim::{SimEngine, SimOutcome};

@@ -1,0 +1,521 @@
+//! Multithreaded host execution.
+//!
+//! [`SimEngine::run`] executes supersteps on one host thread. For large
+//! experiment sweeps the gather phase dominates host time, and it is
+//! embarrassingly parallel across vertices (GAS methods are pure), so this
+//! module adds [`SimEngine::run_parallel`]: the same simulation, with the
+//! gather/apply and scatter phases fanned out over host threads.
+//!
+//! **Determinism is preserved exactly for vertex data** and to within
+//! floating-point re-association for the simulated times: active vertices
+//! are split into fixed chunks, threads self-schedule chunks off a shared
+//! atomic cursor (so power-law work skew cannot idle threads), and results
+//! are merged *in chunk order* afterwards. Per-vertex outputs are pure
+//! functions of the previous superstep, so the merged state is identical
+//! to the sequential engine's.
+//!
+//! Note the distinction between the two kinds of time here: `run_parallel`
+//! changes how long the *host* takes to compute the simulation; the
+//! *simulated* cluster times it produces are the same quantity `run`
+//! produces.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hetgraph_cluster::{EnergyModel, EnergyReport, GraphShape, WorkCounts};
+use hetgraph_core::{BitSet, Graph, MachineId, VertexId};
+use hetgraph_partition::PartitionAssignment;
+
+use crate::distributed::DistributedGraph;
+use crate::program::{ActiveInit, Direction, GasProgram};
+use crate::report::SimReport;
+use crate::sim::{SimEngine, SimOutcome};
+
+/// Vertices per self-scheduled chunk. Small enough that hub-heavy chunks
+/// cannot stall the tail, big enough to amortize the atomic fetch.
+const CHUNK: usize = 1_024;
+
+/// Per-chunk result of the gather/apply phase.
+struct GatherChunk<D> {
+    index: usize,
+    changes: Vec<(VertexId, D, bool)>,
+    work: Vec<WorkCounts>,
+    sync_counts: Vec<u64>,
+}
+
+/// Per-chunk result of the scatter phase.
+struct ScatterChunk {
+    index: usize,
+    work: Vec<WorkCounts>,
+    activations: Vec<VertexId>,
+}
+
+/// Run `job` over `chunks` with self-scheduling worker threads, returning
+/// results sorted back into chunk order.
+fn scheduled<'a, T: Send, C: Sync + ?Sized>(
+    chunks: &'a [&'a C],
+    host_threads: usize,
+    job: impl Fn(usize, &'a C) -> T + Sync,
+    sort_key: impl Fn(&T) -> usize,
+) -> Vec<T> {
+    let cursor = AtomicUsize::new(0);
+    let workers = host_threads.min(chunks.len()).max(1);
+    let mut results: Vec<T> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(idx) else { break };
+                        out.push(job(idx, chunk));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    results.sort_unstable_by_key(sort_key);
+    results
+}
+
+impl SimEngine<'_> {
+    /// Parallel variant of [`SimEngine::run`] using `host_threads` OS
+    /// threads. Produces identical vertex data and (up to floating-point
+    /// association) identical reports.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0` or on a cluster/assignment mismatch.
+    pub fn run_parallel<P>(
+        &self,
+        graph: &Graph,
+        assignment: &PartitionAssignment,
+        program: &P,
+        host_threads: usize,
+    ) -> SimOutcome<P::VertexData>
+    where
+        P: GasProgram + Sync,
+        P::VertexData: Send + Sync,
+        P::Accum: Send,
+    {
+        assert!(host_threads > 0, "need at least one host thread");
+        assert_eq!(
+            assignment.num_machines(),
+            self.cluster().len(),
+            "assignment and cluster must have the same machine count"
+        );
+        let p = self.cluster().len();
+        let n = graph.num_vertices() as usize;
+        let dist = DistributedGraph::new(graph, assignment);
+        let profile = program.profile();
+        profile.assert_valid();
+        let shape = GraphShape::of(graph);
+        let machines = self.cluster().machines();
+        let energy_model = EnergyModel::new(machines.to_vec());
+
+        let mut data: Vec<P::VertexData> = (0..n as u32).map(|v| program.init(graph, v)).collect();
+        let mut active = match program.initial_active(graph) {
+            ActiveInit::All => BitSet::full(n),
+            ActiveInit::Seeds(seeds) => {
+                let mut s = BitSet::new(n);
+                for v in seeds {
+                    s.insert(v as usize);
+                }
+                s
+            }
+        };
+
+        let mut energy = EnergyReport::new(p);
+        let mut per_machine_busy = vec![0.0f64; p];
+        let mut total_work = vec![WorkCounts::zero(); p];
+        let mut makespan = 0.0f64;
+        let mut compute_total = 0.0f64;
+        let mut comm_total = 0.0f64;
+        let mut supersteps = 0usize;
+        let mut converged = false;
+        let mut steps: Vec<crate::report::StepRecord> = Vec::new();
+
+        for step in 0..program.max_supersteps() {
+            if active.is_empty() {
+                converged = true;
+                break;
+            }
+            let active_list: Vec<u32> = active.iter().map(|v| v as u32).collect();
+            let chunks: Vec<&[u32]> = active_list.chunks(CHUNK).collect();
+
+            // --- Gather + Apply, fanned out ---
+            let gathered: Vec<GatherChunk<P::VertexData>> = scheduled(
+                &chunks,
+                host_threads,
+                |idx, chunk| {
+                    gather_chunk(
+                        idx, chunk, graph, &dist, assignment, program, &data, step, p,
+                    )
+                },
+                |c| c.index,
+            );
+
+            let mut step_work = vec![WorkCounts::zero(); p];
+            let mut sync_counts = vec![0u64; p];
+            for c in &gathered {
+                for i in 0..p {
+                    step_work[i].add(c.work[i]);
+                    sync_counts[i] += c.sync_counts[i];
+                }
+            }
+
+            // --- Commit applies (Jacobi barrier), collect changed ids ---
+            let mut changed: Vec<u32> = Vec::new();
+            for c in gathered {
+                for (v, nd, did_change) in c.changes {
+                    data[v as usize] = nd;
+                    if did_change {
+                        changed.push(v);
+                    }
+                }
+            }
+
+            // --- Scatter, fanned out over changed vertices ---
+            let mut next_active = BitSet::new(n);
+            if program.scatter_direction() != Direction::None && !changed.is_empty() {
+                let sc_chunks: Vec<&[u32]> = changed.chunks(CHUNK).collect();
+                let scattered: Vec<ScatterChunk> = scheduled(
+                    &sc_chunks,
+                    host_threads,
+                    |idx, chunk| scatter_chunk(idx, chunk, graph, &dist, program, &data, p),
+                    |c| c.index,
+                );
+                for c in scattered {
+                    for i in 0..p {
+                        step_work[i].add(c.work[i]);
+                    }
+                    for u in c.activations {
+                        next_active.insert(u as usize);
+                    }
+                }
+            }
+
+            // --- Timing, energy, bookkeeping (same as the serial path) ---
+            let busy: Vec<f64> = (0..p)
+                .map(|i| profile.time_seconds(&machines[i], &step_work[i], &shape))
+                .collect();
+            let step_compute = busy.iter().copied().fold(0.0f64, f64::max);
+            let step_comm = self.network().step_comm_s(machines, &sync_counts);
+            let step_wall = step_compute + step_comm;
+            for i in 0..p {
+                energy_model.account_step(&mut energy, i, busy[i], step_wall);
+                per_machine_busy[i] += busy[i];
+                total_work[i].add(step_work[i]);
+            }
+            if self.trace() {
+                steps.push(crate::report::StepRecord {
+                    step,
+                    active: active_list.len(),
+                    busy_s: busy.clone(),
+                    comm_s: step_comm,
+                    wall_s: step_wall,
+                });
+            }
+            makespan += step_wall;
+            compute_total += step_compute;
+            comm_total += step_comm;
+            supersteps += 1;
+            active = next_active;
+        }
+        if active.is_empty() {
+            converged = true;
+        }
+
+        SimOutcome {
+            data,
+            report: SimReport {
+                app: program.name().to_string(),
+                supersteps,
+                converged,
+                makespan_s: makespan,
+                compute_s: compute_total,
+                comm_s: comm_total,
+                per_machine_busy_s: per_machine_busy,
+                per_machine_work: total_work,
+                energy,
+                steps,
+            },
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gather_chunk<P>(
+    index: usize,
+    chunk: &[u32],
+    graph: &Graph,
+    dist: &DistributedGraph<'_>,
+    assignment: &PartitionAssignment,
+    program: &P,
+    data: &[P::VertexData],
+    step: usize,
+    p: usize,
+) -> GatherChunk<P::VertexData>
+where
+    P: GasProgram + Sync,
+{
+    let mut work = vec![WorkCounts::zero(); p];
+    let mut sync_counts = vec![0u64; p];
+    let mut changes = Vec::with_capacity(chunk.len());
+    for &v in chunk {
+        let mut acc: Option<P::Accum> = None;
+        for_each_neighbor(dist, v, program.gather_direction(), |u, m| {
+            let (contrib, w) = program.gather(graph, data, v, u);
+            work[m.index()].edge_units += w;
+            if let Some(c) = contrib {
+                acc = Some(match acc.take() {
+                    Some(prev) => program.sum(prev, c),
+                    None => c,
+                });
+            }
+        });
+        let master = assignment.master(v);
+        work[master.index()].vertex_units += 1.0;
+        let (nd, did_change) = program.apply(graph, v, &data[v as usize], acc, step);
+        changes.push((v, nd, did_change));
+        let mask = assignment.replica_mask(v);
+        let replicas = mask.count_ones();
+        if replicas > 1 {
+            sync_counts[master.index()] += (replicas - 1) as u64;
+            let mut rest = mask;
+            while rest != 0 {
+                let m = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                if m != master.index() {
+                    sync_counts[m] += 1;
+                }
+            }
+        }
+    }
+    GatherChunk {
+        index,
+        changes,
+        work,
+        sync_counts,
+    }
+}
+
+fn scatter_chunk<P>(
+    index: usize,
+    chunk: &[u32],
+    graph: &Graph,
+    dist: &DistributedGraph<'_>,
+    program: &P,
+    data: &[P::VertexData],
+    p: usize,
+) -> ScatterChunk
+where
+    P: GasProgram + Sync,
+{
+    let mut work = vec![WorkCounts::zero(); p];
+    let mut activations = Vec::new();
+    for &v in chunk {
+        for_each_neighbor(dist, v, program.scatter_direction(), |u, m| {
+            work[m.index()].edge_units += 1.0;
+            if program.scatter_activates(graph, data, v, u, true) {
+                activations.push(u);
+            }
+        });
+    }
+    ScatterChunk {
+        index,
+        work,
+        activations,
+    }
+}
+
+/// Visit each neighbor of `v` in the given direction with its edge owner.
+fn for_each_neighbor(
+    dist: &DistributedGraph<'_>,
+    v: VertexId,
+    dir: Direction,
+    mut f: impl FnMut(VertexId, MachineId),
+) {
+    match dir {
+        Direction::In => {
+            for (u, m) in dist.in_neighbors_owned(v) {
+                f(u, m);
+            }
+        }
+        Direction::Out => {
+            for (u, m) in dist.out_neighbors_owned(v) {
+                f(u, m);
+            }
+        }
+        Direction::Both => {
+            for (u, m) in dist.in_neighbors_owned(v) {
+                f(u, m);
+            }
+            for (u, m) in dist.out_neighbors_owned(v) {
+                f(u, m);
+            }
+        }
+        Direction::None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph_apps_free::*;
+
+    /// Self-contained CC-like program (the apps crate depends on this
+    /// crate, so tests define their own).
+    mod hetgraph_apps_free {
+        use super::*;
+        use hetgraph_cluster::AppProfile;
+
+        pub struct MinLabel;
+
+        impl GasProgram for MinLabel {
+            type VertexData = u32;
+            type Accum = u32;
+            fn name(&self) -> &'static str {
+                "min_label"
+            }
+            fn profile(&self) -> AppProfile {
+                AppProfile {
+                    name: "min_label".into(),
+                    edge_flops: 50.0,
+                    edge_bytes: 40.0,
+                    vertex_flops: 10.0,
+                    vertex_bytes: 8.0,
+                    serial_fraction: 0.05,
+                    parallel_exponent: 1.0,
+                    skew_sensitivity: 0.3,
+                    relief_floor: 0.85,
+                    relief_ref_degree: 10.0,
+                }
+            }
+            fn init(&self, _g: &Graph, v: VertexId) -> u32 {
+                v
+            }
+            fn gather_direction(&self) -> Direction {
+                Direction::Both
+            }
+            fn gather(
+                &self,
+                _g: &Graph,
+                data: &[u32],
+                _v: VertexId,
+                u: VertexId,
+            ) -> (Option<u32>, f64) {
+                (Some(data[u as usize]), 1.0)
+            }
+            fn sum(&self, a: u32, b: u32) -> u32 {
+                a.min(b)
+            }
+            fn apply(
+                &self,
+                _g: &Graph,
+                _v: VertexId,
+                old: &u32,
+                acc: Option<u32>,
+                _s: usize,
+            ) -> (u32, bool) {
+                let new = acc.map_or(*old, |a| a.min(*old));
+                (new, new < *old)
+            }
+            fn scatter_direction(&self) -> Direction {
+                Direction::Both
+            }
+        }
+    }
+
+    use hetgraph_cluster::Cluster;
+    use hetgraph_core::{Edge, EdgeList};
+    use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
+
+    fn big_graph() -> Graph {
+        let n = 5_000u32;
+        let mut edges = Vec::new();
+        for v in 0..n {
+            edges.push(Edge::new(v, (v * 13 + 7) % n));
+            edges.push(Edge::new(v, (v * 31 + 3) % n));
+        }
+        Graph::from_edge_list(EdgeList::from_edges(n, edges))
+    }
+
+    #[test]
+    fn parallel_matches_sequential_data_exactly() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let engine = SimEngine::new(&cluster);
+        let seq = engine.run(&g, &a, &MinLabel);
+        for threads in [1, 2, 4] {
+            let par = engine.run_parallel(&g, &a, &MinLabel, threads);
+            assert_eq!(par.data, seq.data, "{threads} threads");
+            assert_eq!(par.report.supersteps, seq.report.supersteps);
+            assert!(
+                (par.report.makespan_s - seq.report.makespan_s).abs()
+                    < 1e-9 * seq.report.makespan_s.max(1.0),
+                "{threads} threads: {} vs {}",
+                par.report.makespan_s,
+                seq.report.makespan_s
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_work_attribution_matches() {
+        let g = big_graph();
+        let cluster = Cluster::case3();
+        let a = RandomHash::new().partition(&g, &MachineWeights::from_ccr(&[1.0, 4.0]));
+        let engine = SimEngine::new(&cluster);
+        let seq = engine.run(&g, &a, &MinLabel).report;
+        let par = engine.run_parallel(&g, &a, &MinLabel, 3).report;
+        for i in 0..2 {
+            assert!(
+                (seq.per_machine_work[i].edge_units - par.per_machine_work[i].edge_units).abs()
+                    < 1e-6,
+                "machine {i} edge work"
+            );
+            assert!(
+                (seq.per_machine_work[i].vertex_units - par.per_machine_work[i].vertex_units).abs()
+                    < 1e-6,
+                "machine {i} vertex work"
+            );
+        }
+        assert_eq!(seq.energy.busy_s.len(), par.energy.busy_s.len());
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_runs() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let engine = SimEngine::new(&cluster);
+        let r1 = engine.run_parallel(&g, &a, &MinLabel, 4);
+        let r2 = engine.run_parallel(&g, &a, &MinLabel, 4);
+        assert_eq!(r1.data, r2.data);
+        assert_eq!(r1.report, r2.report);
+    }
+
+    #[test]
+    fn empty_graph_parallel() {
+        let g = Graph::from_edge_list(EdgeList::new(0));
+        let cluster = Cluster::case2();
+        let a = hetgraph_partition::PartitionAssignment::from_edge_machines(&g, 2, vec![]);
+        let out = SimEngine::new(&cluster).run_parallel(&g, &a, &MinLabel, 2);
+        assert!(out.report.converged);
+        assert_eq!(out.report.supersteps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host thread")]
+    fn zero_threads_rejected() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        SimEngine::new(&cluster).run_parallel(&g, &a, &MinLabel, 0);
+    }
+}

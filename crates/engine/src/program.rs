@@ -1,0 +1,132 @@
+//! The Gather-Apply-Scatter vertex-program abstraction.
+//!
+//! Semantics are Jacobi-style (synchronous): every superstep, each active
+//! vertex gathers over its neighbors' *previous-step* data, applies a pure
+//! update, and scatters activation signals for the next superstep. This is
+//! PowerGraph's sync engine; determinism is exact, which the reproduction
+//! harness depends on.
+
+use hetgraph_cluster::AppProfile;
+use hetgraph_core::{Graph, VertexId};
+
+/// Which adjacency direction a phase iterates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Direction {
+    /// In-edges (neighbors pointing at the vertex).
+    In,
+    /// Out-edges.
+    Out,
+    /// Both directions.
+    Both,
+    /// No iteration at all (skip the phase).
+    None,
+}
+
+/// How the initial active set is formed.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ActiveInit {
+    /// Every vertex starts active (PageRank, CC, Coloring, TC).
+    All,
+    /// Only the listed seed vertices start active (SSSP).
+    Seeds(Vec<VertexId>),
+}
+
+/// A GAS vertex program.
+///
+/// All methods must be pure functions of their arguments (no interior
+/// state), which makes execution deterministic and lets the engine
+/// re-order work freely within a superstep.
+pub trait GasProgram {
+    /// Per-vertex state.
+    type VertexData: Clone + Send + Sync;
+    /// Gather accumulator.
+    type Accum: Clone + Send;
+
+    /// Application name (keys the CCR pool).
+    fn name(&self) -> &'static str;
+
+    /// Ground-truth hardware profile (see `hetgraph-cluster::perf`). Not
+    /// visible to scheduling policies — only the simulator reads it.
+    fn profile(&self) -> AppProfile;
+
+    /// Initial vertex data.
+    fn init(&self, graph: &Graph, v: VertexId) -> Self::VertexData;
+
+    /// Which neighbors the gather phase visits.
+    fn gather_direction(&self) -> Direction;
+
+    /// Gather over one neighbor `u` of `v`. Returns the accumulator
+    /// contribution (or `None` to contribute nothing) and the *work units*
+    /// this visit cost (1.0 for a plain read; Triangle Count returns the
+    /// actual number of intersection probes).
+    fn gather(
+        &self,
+        graph: &Graph,
+        data: &[Self::VertexData],
+        v: VertexId,
+        u: VertexId,
+    ) -> (Option<Self::Accum>, f64);
+
+    /// Commutative, associative combination of accumulators.
+    fn sum(&self, a: Self::Accum, b: Self::Accum) -> Self::Accum;
+
+    /// Pure apply: old data + gathered accumulator → (new data, changed?).
+    /// `changed` drives scatter and convergence.
+    fn apply(
+        &self,
+        graph: &Graph,
+        v: VertexId,
+        old: &Self::VertexData,
+        acc: Option<Self::Accum>,
+        superstep: usize,
+    ) -> (Self::VertexData, bool);
+
+    /// Which neighbors the scatter phase visits (for changed vertices).
+    fn scatter_direction(&self) -> Direction;
+
+    /// Whether scatter along `v → u` activates `u` for the next superstep.
+    /// Default: activate exactly when `v` changed (message-passing style).
+    fn scatter_activates(
+        &self,
+        _graph: &Graph,
+        _data: &[Self::VertexData],
+        _v: VertexId,
+        _u: VertexId,
+        v_changed: bool,
+    ) -> bool {
+        v_changed
+    }
+
+    /// Initial active set.
+    fn initial_active(&self, _graph: &Graph) -> ActiveInit {
+        ActiveInit::All
+    }
+
+    /// Superstep budget; the engine stops here even without convergence.
+    fn max_supersteps(&self) -> usize {
+        200
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_is_copy_and_comparable() {
+        let d = Direction::Both;
+        let e = d;
+        assert_eq!(d, e);
+        assert_ne!(Direction::In, Direction::Out);
+    }
+
+    #[test]
+    fn active_init_variants() {
+        let all = ActiveInit::All;
+        let seeds = ActiveInit::Seeds(vec![1, 2]);
+        assert_ne!(all, seeds);
+        if let ActiveInit::Seeds(s) = seeds {
+            assert_eq!(s.len(), 2);
+        }
+    }
+}

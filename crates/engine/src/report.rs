@@ -1,0 +1,177 @@
+//! Execution reports.
+
+use hetgraph_cluster::{EnergyReport, WorkCounts};
+
+/// One superstep's timing snapshot (recorded when tracing is enabled via
+/// [`crate::SimEngine::with_trace`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StepRecord {
+    /// Superstep index.
+    pub step: usize,
+    /// Active vertices entering the step.
+    pub active: usize,
+    /// Per-machine busy compute seconds.
+    pub busy_s: Vec<f64>,
+    /// Communication + barrier seconds.
+    pub comm_s: f64,
+    /// Wall-clock of the step.
+    pub wall_s: f64,
+}
+
+impl StepRecord {
+    /// Slowest machine's busy time over the mean — the step's own
+    /// imbalance (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let n = self.busy_s.len().max(1) as f64;
+        let mean: f64 = self.busy_s.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.busy_s.iter().copied().fold(0.0f64, f64::max) / mean
+        }
+    }
+}
+
+/// Everything the simulator measured about one application run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimReport {
+    /// Application name.
+    pub app: String,
+    /// Supersteps executed.
+    pub supersteps: usize,
+    /// Whether the program converged within its superstep budget.
+    pub converged: bool,
+    /// End-to-end simulated wall clock (compute + communication), seconds.
+    pub makespan_s: f64,
+    /// Σ over supersteps of the slowest machine's compute time.
+    pub compute_s: f64,
+    /// Σ over supersteps of communication + barrier time.
+    pub comm_s: f64,
+    /// Per-machine total busy compute seconds.
+    pub per_machine_busy_s: Vec<f64>,
+    /// Per-machine accumulated work counts.
+    pub per_machine_work: Vec<WorkCounts>,
+    /// Energy accounting over the whole schedule.
+    pub energy: EnergyReport,
+    /// Per-superstep records (empty unless tracing was enabled).
+    pub steps: Vec<StepRecord>,
+}
+
+impl SimReport {
+    /// Total joules consumed by the cluster.
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+
+    /// The balance quality actually realized: slowest machine busy time
+    /// over mean busy time (1.0 = perfectly balanced compute).
+    pub fn compute_imbalance(&self) -> f64 {
+        let n = self.per_machine_busy_s.len().max(1) as f64;
+        let mean: f64 = self.per_machine_busy_s.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.per_machine_busy_s
+                .iter()
+                .copied()
+                .fold(0.0f64, f64::max)
+                / mean
+        }
+    }
+
+    /// Fraction of the makespan spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.makespan_s == 0.0 {
+            0.0
+        } else {
+            self.comm_s / self.makespan_s
+        }
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.4}s over {} supersteps (compute {:.4}s, comm {:.4}s, {:.1} J{})",
+            self.app,
+            self.makespan_s,
+            self.supersteps,
+            self.compute_s,
+            self.comm_s,
+            self.total_energy_j(),
+            if self.converged {
+                ""
+            } else {
+                ", NOT converged"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            app: "test".into(),
+            supersteps: 3,
+            converged: true,
+            makespan_s: 10.0,
+            compute_s: 8.0,
+            comm_s: 2.0,
+            per_machine_busy_s: vec![8.0, 4.0],
+            per_machine_work: vec![WorkCounts::zero(), WorkCounts::zero()],
+            energy: EnergyReport::new(2),
+            steps: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn step_record_imbalance() {
+        let r = StepRecord {
+            step: 0,
+            active: 10,
+            busy_s: vec![3.0, 1.0],
+            comm_s: 0.1,
+            wall_s: 3.1,
+        };
+        assert!((r.imbalance() - 1.5).abs() < 1e-12);
+        let idle = StepRecord {
+            step: 1,
+            active: 0,
+            busy_s: vec![0.0, 0.0],
+            comm_s: 0.0,
+            wall_s: 0.0,
+        };
+        assert_eq!(idle.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let r = report();
+        assert!((r.compute_imbalance() - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_fraction() {
+        assert!((report().comm_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = report().to_string();
+        assert!(s.contains("test"));
+        assert!(s.contains("supersteps"));
+    }
+
+    #[test]
+    fn zero_cases() {
+        let mut r = report();
+        r.makespan_s = 0.0;
+        assert_eq!(r.comm_fraction(), 0.0);
+        r.per_machine_busy_s = vec![0.0, 0.0];
+        assert_eq!(r.compute_imbalance(), 1.0);
+    }
+}

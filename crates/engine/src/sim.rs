@@ -1,0 +1,470 @@
+//! The BSP superstep simulator.
+
+use hetgraph_cluster::{Cluster, EnergyModel, EnergyReport, GraphShape, NetworkModel, WorkCounts};
+use hetgraph_core::{BitSet, Graph, MachineId, VertexId};
+use hetgraph_partition::PartitionAssignment;
+
+use crate::distributed::DistributedGraph;
+use crate::program::{ActiveInit, Direction, GasProgram};
+use crate::report::SimReport;
+
+/// The execution engine: runs a [`GasProgram`] over a partitioned graph on
+/// a simulated heterogeneous cluster.
+pub struct SimEngine<'a> {
+    cluster: &'a Cluster,
+    network: NetworkModel,
+    trace: bool,
+}
+
+/// Result of a run: the real computed vertex data plus the simulated
+/// performance report.
+pub struct SimOutcome<D> {
+    /// Final per-vertex data (real algorithm output).
+    pub data: Vec<D>,
+    /// Simulated timing/energy report.
+    pub report: SimReport,
+}
+
+impl<'a> SimEngine<'a> {
+    /// Engine with the default network model.
+    pub fn new(cluster: &'a Cluster) -> Self {
+        SimEngine {
+            cluster,
+            network: NetworkModel::default(),
+            trace: false,
+        }
+    }
+
+    /// Engine with a custom network model.
+    pub fn with_network(cluster: &'a Cluster, network: NetworkModel) -> Self {
+        SimEngine {
+            cluster,
+            network,
+            trace: false,
+        }
+    }
+
+    /// Record a [`crate::report::StepRecord`] for every superstep (off by
+    /// default: traces grow linearly with supersteps).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The cluster this engine simulates.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// The communication model in use.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// Whether per-superstep tracing is enabled.
+    pub fn trace(&self) -> bool {
+        self.trace
+    }
+
+    /// Execute `program` on `graph` partitioned by `assignment`.
+    ///
+    /// # Panics
+    /// Panics if the assignment's machine count differs from the cluster's.
+    pub fn run<P: GasProgram>(
+        &self,
+        graph: &Graph,
+        assignment: &PartitionAssignment,
+        program: &P,
+    ) -> SimOutcome<P::VertexData> {
+        assert_eq!(
+            assignment.num_machines(),
+            self.cluster.len(),
+            "assignment and cluster must have the same machine count"
+        );
+        let p = self.cluster.len();
+        let n = graph.num_vertices() as usize;
+        let dist = DistributedGraph::new(graph, assignment);
+        let profile = program.profile();
+        profile.assert_valid();
+        let shape = GraphShape::of(graph);
+        let machines = self.cluster.machines();
+        let energy_model = EnergyModel::new(machines.to_vec());
+
+        let mut data: Vec<P::VertexData> = (0..n as u32).map(|v| program.init(graph, v)).collect();
+        let mut active = match program.initial_active(graph) {
+            ActiveInit::All => BitSet::full(n),
+            ActiveInit::Seeds(seeds) => {
+                let mut s = BitSet::new(n);
+                for v in seeds {
+                    s.insert(v as usize);
+                }
+                s
+            }
+        };
+
+        let mut energy = EnergyReport::new(p);
+        let mut per_machine_busy = vec![0.0f64; p];
+        let mut total_work = vec![WorkCounts::zero(); p];
+        let mut makespan = 0.0f64;
+        let mut compute_total = 0.0f64;
+        let mut comm_total = 0.0f64;
+        let mut supersteps = 0usize;
+        let mut converged = false;
+
+        // Reused per-step buffers.
+        let mut changes: Vec<(VertexId, P::VertexData, bool)> = Vec::new();
+        let mut steps: Vec<crate::report::StepRecord> = Vec::new();
+
+        for step in 0..program.max_supersteps() {
+            if active.is_empty() {
+                converged = true;
+                break;
+            }
+            let step_active = active.len();
+            let mut step_work = vec![WorkCounts::zero(); p];
+            let mut sync_counts = vec![0u64; p];
+            changes.clear();
+
+            // --- Gather + Apply (reads previous-step data only) ---
+            for v in active.iter() {
+                let v = v as VertexId;
+                let mut acc: Option<P::Accum> = None;
+                for_each_neighbor(&dist, v, program.gather_direction(), |u, m| {
+                    let (contrib, w) = program.gather(graph, &data, v, u);
+                    step_work[m.index()].edge_units += w;
+                    if let Some(c) = contrib {
+                        acc = Some(match acc.take() {
+                            Some(prev) => program.sum(prev, c),
+                            None => c,
+                        });
+                    }
+                });
+                let master = assignment.master(v);
+                step_work[master.index()].vertex_units += 1.0;
+                let (nd, changed) = program.apply(graph, v, &data[v as usize], acc, step);
+                changes.push((v, nd, changed));
+
+                // Mirror synchronization: an active vertex exchanges one
+                // message per mirror in each direction; charge the master
+                // once per mirror and each mirror once.
+                let mask = assignment.replica_mask(v);
+                let replicas = mask.count_ones();
+                if replicas > 1 {
+                    sync_counts[master.index()] += (replicas - 1) as u64;
+                    let mut rest = mask;
+                    while rest != 0 {
+                        let m = rest.trailing_zeros() as usize;
+                        rest &= rest - 1;
+                        if m != master.index() {
+                            sync_counts[m] += 1;
+                        }
+                    }
+                }
+            }
+
+            // --- Commit applies (Jacobi barrier) ---
+            let mut next_active = BitSet::new(n);
+            for (v, nd, _) in &changes {
+                data[*v as usize] = nd.clone();
+            }
+
+            // --- Scatter (sees post-apply data) ---
+            for (v, _, changed) in &changes {
+                let (v, changed) = (*v, *changed);
+                if program.scatter_direction() == Direction::None {
+                    continue;
+                }
+                if !changed {
+                    continue;
+                }
+                for_each_neighbor(&dist, v, program.scatter_direction(), |u, m| {
+                    step_work[m.index()].edge_units += 1.0;
+                    if program.scatter_activates(graph, &data, v, u, changed) {
+                        next_active.insert(u as usize);
+                    }
+                });
+            }
+
+            // --- Timing, energy, bookkeeping ---
+            let busy: Vec<f64> = (0..p)
+                .map(|i| profile.time_seconds(&machines[i], &step_work[i], &shape))
+                .collect();
+            let step_compute = busy.iter().copied().fold(0.0f64, f64::max);
+            let step_comm = self.network.step_comm_s(machines, &sync_counts);
+            let step_wall = step_compute + step_comm;
+            for i in 0..p {
+                energy_model.account_step(&mut energy, i, busy[i], step_wall);
+                per_machine_busy[i] += busy[i];
+                total_work[i].add(step_work[i]);
+            }
+            if self.trace {
+                steps.push(crate::report::StepRecord {
+                    step,
+                    active: step_active,
+                    busy_s: busy.clone(),
+                    comm_s: step_comm,
+                    wall_s: step_wall,
+                });
+            }
+            makespan += step_wall;
+            compute_total += step_compute;
+            comm_total += step_comm;
+            supersteps += 1;
+            active = next_active;
+        }
+        if active.is_empty() {
+            converged = true;
+        }
+
+        SimOutcome {
+            data,
+            report: SimReport {
+                app: program.name().to_string(),
+                supersteps,
+                converged,
+                makespan_s: makespan,
+                compute_s: compute_total,
+                comm_s: comm_total,
+                per_machine_busy_s: per_machine_busy,
+                per_machine_work: total_work,
+                energy,
+                steps,
+            },
+        }
+    }
+}
+
+/// Visit each neighbor of `v` in the given direction with its edge owner.
+fn for_each_neighbor(
+    dist: &DistributedGraph<'_>,
+    v: VertexId,
+    dir: Direction,
+    mut f: impl FnMut(VertexId, MachineId),
+) {
+    match dir {
+        Direction::In => {
+            for (u, m) in dist.in_neighbors_owned(v) {
+                f(u, m);
+            }
+        }
+        Direction::Out => {
+            for (u, m) in dist.out_neighbors_owned(v) {
+                f(u, m);
+            }
+        }
+        Direction::Both => {
+            for (u, m) in dist.in_neighbors_owned(v) {
+                f(u, m);
+            }
+            for (u, m) in dist.out_neighbors_owned(v) {
+                f(u, m);
+            }
+        }
+        Direction::None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph_cluster::AppProfile;
+    use hetgraph_core::{Edge, EdgeList};
+    use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
+
+    /// Minimal label-propagation program: every vertex takes the minimum
+    /// label among itself and its in+out neighbors (connected components).
+    struct MinLabel;
+
+    fn test_profile() -> AppProfile {
+        AppProfile {
+            name: "min_label".into(),
+            edge_flops: 50.0,
+            edge_bytes: 40.0,
+            vertex_flops: 10.0,
+            vertex_bytes: 8.0,
+            serial_fraction: 0.05,
+            parallel_exponent: 1.0,
+            skew_sensitivity: 0.3,
+            relief_floor: 0.7,
+            relief_ref_degree: 10.0,
+        }
+    }
+
+    impl GasProgram for MinLabel {
+        type VertexData = u32;
+        type Accum = u32;
+
+        fn name(&self) -> &'static str {
+            "min_label"
+        }
+        fn profile(&self) -> AppProfile {
+            test_profile()
+        }
+        fn init(&self, _g: &Graph, v: VertexId) -> u32 {
+            v
+        }
+        fn gather_direction(&self) -> Direction {
+            Direction::Both
+        }
+        fn gather(
+            &self,
+            _g: &Graph,
+            data: &[u32],
+            _v: VertexId,
+            u: VertexId,
+        ) -> (Option<u32>, f64) {
+            (Some(data[u as usize]), 1.0)
+        }
+        fn sum(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+        fn apply(
+            &self,
+            _g: &Graph,
+            _v: VertexId,
+            old: &u32,
+            acc: Option<u32>,
+            _step: usize,
+        ) -> (u32, bool) {
+            let candidate = acc.map_or(*old, |a| a.min(*old));
+            (candidate, candidate < *old)
+        }
+        fn scatter_direction(&self) -> Direction {
+            Direction::Both
+        }
+    }
+
+    fn two_components() -> Graph {
+        // {0,1,2} ring and {3,4} pair.
+        Graph::from_edge_list(EdgeList::from_edges(
+            5,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 0),
+                Edge::new(3, 4),
+            ],
+        ))
+    }
+
+    fn partitioned(g: &Graph, cluster: &Cluster) -> PartitionAssignment {
+        RandomHash::new().partition(g, &MachineWeights::uniform(cluster.len()))
+    }
+
+    #[test]
+    fn computes_correct_labels() {
+        let g = two_components();
+        let cluster = Cluster::case2();
+        let a = partitioned(&g, &cluster);
+        let out = SimEngine::new(&cluster).run(&g, &a, &MinLabel);
+        assert_eq!(out.data, vec![0, 0, 0, 3, 3]);
+        assert!(out.report.converged);
+    }
+
+    #[test]
+    fn result_independent_of_partitioning() {
+        let g = two_components();
+        let c2 = Cluster::case2();
+        let c3 = Cluster::case3();
+        let r1 = SimEngine::new(&c2).run(&g, &partitioned(&g, &c2), &MinLabel);
+        let a_skewed = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 0, 1]);
+        let r2 = SimEngine::new(&c3).run(&g, &a_skewed, &MinLabel);
+        assert_eq!(r1.data, r2.data, "results must not depend on placement");
+    }
+
+    #[test]
+    fn timing_is_positive_and_consistent() {
+        let g = two_components();
+        let cluster = Cluster::case2();
+        let out = SimEngine::new(&cluster).run(&g, &partitioned(&g, &cluster), &MinLabel);
+        let r = &out.report;
+        assert!(r.makespan_s > 0.0);
+        assert!((r.makespan_s - (r.compute_s + r.comm_s)).abs() < 1e-12);
+        assert!(r.supersteps >= 2);
+        assert_eq!(r.per_machine_busy_s.len(), 2);
+        assert!(r.energy.total_j() > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = two_components();
+        let cluster = Cluster::case2();
+        let a = partitioned(&g, &cluster);
+        let r1 = SimEngine::new(&cluster).run(&g, &a, &MinLabel).report;
+        let r2 = SimEngine::new(&cluster).run(&g, &a, &MinLabel).report;
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn work_lands_on_edge_owners() {
+        let g = two_components();
+        let cluster = Cluster::case2();
+        // All edges on machine 1: machine 0 must see zero edge work.
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![1, 1, 1, 1]);
+        let out = SimEngine::new(&cluster).run(&g, &a, &MinLabel);
+        assert_eq!(out.report.per_machine_work[0].edge_units, 0.0);
+        assert!(out.report.per_machine_work[1].edge_units > 0.0);
+    }
+
+    #[test]
+    fn better_placement_reduces_makespan() {
+        // A chain graph with all edges on the slow machine vs all on the
+        // fast machine: the fast placement must finish sooner.
+        let n = 2_000u32;
+        let edges: Vec<Edge> = (0..n - 1).map(|v| Edge::new(v, v + 1)).collect();
+        let g = Graph::from_edge_list(EdgeList::from_edges(n, edges));
+        let cluster = Cluster::case2(); // m0 slow, m1 fast
+        let m = g.num_edges();
+        let slow = PartitionAssignment::from_edge_machines(&g, 2, vec![0; m]);
+        let fast = PartitionAssignment::from_edge_machines(&g, 2, vec![1; m]);
+        let engine = SimEngine::new(&cluster);
+        let t_slow = engine.run(&g, &slow, &MinLabel).report.makespan_s;
+        let t_fast = engine.run(&g, &fast, &MinLabel).report.makespan_s;
+        assert!(t_fast < t_slow, "fast {t_fast} !< slow {t_slow}");
+    }
+
+    #[test]
+    fn tracing_records_every_superstep() {
+        let g = two_components();
+        let cluster = Cluster::case2();
+        let a = partitioned(&g, &cluster);
+        let traced = SimEngine::new(&cluster)
+            .with_trace(true)
+            .run(&g, &a, &MinLabel);
+        let plain = SimEngine::new(&cluster).run(&g, &a, &MinLabel);
+        assert!(plain.report.steps.is_empty(), "tracing is off by default");
+        assert_eq!(traced.report.steps.len(), traced.report.supersteps);
+        // The trace must tally with the aggregate report.
+        let wall: f64 = traced.report.steps.iter().map(|s| s.wall_s).sum();
+        assert!((wall - traced.report.makespan_s).abs() < 1e-12);
+        assert_eq!(
+            traced.report.steps[0].active, 5,
+            "all vertices active at step 0"
+        );
+        for s in &traced.report.steps {
+            assert!(s.imbalance() >= 1.0);
+        }
+        // Tracing must not change results.
+        assert_eq!(traced.data, plain.data);
+    }
+
+    #[test]
+    fn empty_graph_converges_immediately() {
+        let g = Graph::from_edge_list(EdgeList::new(0));
+        let cluster = Cluster::case2();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![]);
+        let out = SimEngine::new(&cluster).run(&g, &a, &MinLabel);
+        assert!(out.report.converged);
+        assert_eq!(out.report.supersteps, 0);
+        assert_eq!(out.report.makespan_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same machine count")]
+    fn cluster_mismatch_panics() {
+        let g = two_components();
+        let cluster = Cluster::case2(); // 2 machines
+        let a = PartitionAssignment::from_edge_machines(&g, 3, vec![0, 1, 2, 0]);
+        SimEngine::new(&cluster).run(&g, &a, &MinLabel);
+    }
+}

@@ -1,0 +1,300 @@
+//! The result of partitioning: an edge→machine assignment plus the derived
+//! replication structure (masters and mirrors).
+
+use hetgraph_core::rng::hash64;
+use hetgraph_core::{Graph, MachineId, VertexId};
+
+/// A complete vertex-cut partition of a graph across `num_machines`
+/// machines.
+///
+/// * every edge lives on exactly one machine (`edge_machine`, parallel to
+///   `graph.edges()` order);
+/// * a vertex is *replicated* on every machine that holds at least one of
+///   its edges (`replica_mask`, one bit per machine);
+/// * one replica is the *master* (`master`); all others are *mirrors* that
+///   must be synchronized each superstep. Vertices with no edges still get
+///   a master so that vertex-grain work (apply) is accounted somewhere.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PartitionAssignment {
+    num_machines: usize,
+    edge_machine: Vec<u16>,
+    replica_mask: Vec<u64>,
+    master: Vec<u16>,
+    edges_per_machine: Vec<usize>,
+}
+
+impl PartitionAssignment {
+    /// Build the full assignment from a per-edge machine vector.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch, `num_machines` is 0 or > 64, or any
+    /// edge's machine is out of range.
+    pub fn from_edge_machines(graph: &Graph, num_machines: usize, edge_machine: Vec<u16>) -> Self {
+        assert!(num_machines >= 1, "need at least one machine");
+        assert!(
+            num_machines <= 64,
+            "at most 64 machines (replica masks are u64)"
+        );
+        assert_eq!(
+            edge_machine.len(),
+            graph.num_edges(),
+            "one machine per edge, in graph edge order"
+        );
+
+        let n = graph.num_vertices() as usize;
+        let mut replica_mask = vec![0u64; n];
+        let mut edges_per_machine = vec![0usize; num_machines];
+        for (e, &m) in graph.edges().iter().zip(&edge_machine) {
+            assert!(
+                (m as usize) < num_machines,
+                "edge assigned to machine {m} out of range"
+            );
+            replica_mask[e.src as usize] |= 1u64 << m;
+            replica_mask[e.dst as usize] |= 1u64 << m;
+            edges_per_machine[m as usize] += 1;
+        }
+
+        // Master selection: deterministic hash-based pick among the
+        // replicas (PowerGraph picks pseudo-randomly). Isolated vertices
+        // hash onto any machine.
+        let mut master = vec![0u16; n];
+        for v in 0..n {
+            let mask = replica_mask[v];
+            let h = hash64(v as u64 ^ 0x6d61_7374_6572_2121);
+            master[v] = if mask == 0 {
+                (h % num_machines as u64) as u16
+            } else {
+                let count = mask.count_ones() as u64;
+                let k = (h % count) as u32;
+                nth_set_bit(mask, k) as u16
+            };
+        }
+
+        PartitionAssignment {
+            num_machines,
+            edge_machine,
+            replica_mask,
+            master,
+            edges_per_machine,
+        }
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Machine of edge `i` (graph edge order).
+    #[inline]
+    pub fn edge_machine(&self, i: usize) -> MachineId {
+        MachineId(self.edge_machine[i])
+    }
+
+    /// The raw per-edge machine vector.
+    pub fn edge_machines(&self) -> &[u16] {
+        &self.edge_machine
+    }
+
+    /// Edge counts per machine.
+    pub fn edges_per_machine(&self) -> &[usize] {
+        &self.edges_per_machine
+    }
+
+    /// Replica bit mask of vertex `v` (bit `m` set ⇔ `v` has a replica on
+    /// machine `m`).
+    #[inline]
+    pub fn replica_mask(&self, v: VertexId) -> u64 {
+        self.replica_mask[v as usize]
+    }
+
+    /// Number of replicas of `v` (0 for isolated vertices).
+    #[inline]
+    pub fn replica_count(&self, v: VertexId) -> u32 {
+        self.replica_mask[v as usize].count_ones()
+    }
+
+    /// Master machine of vertex `v`.
+    #[inline]
+    pub fn master(&self, v: VertexId) -> MachineId {
+        MachineId(self.master[v as usize])
+    }
+
+    /// Whether `v` has a replica on machine `m`.
+    #[inline]
+    pub fn has_replica(&self, v: VertexId, m: MachineId) -> bool {
+        self.replica_mask[v as usize] & (1u64 << m.0) != 0
+    }
+
+    /// Total mirrors: `Σ_v max(replicas(v) − 1, 0)`.
+    pub fn total_mirrors(&self) -> u64 {
+        self.replica_mask
+            .iter()
+            .map(|m| (m.count_ones() as u64).saturating_sub(1))
+            .sum()
+    }
+
+    /// Replication factor: average replicas per vertex *that has edges*
+    /// (PowerGraph's λ). 1.0 is the ideal (no vertex split across
+    /// machines); `num_machines` is the worst case.
+    pub fn replication_factor(&self) -> f64 {
+        let mut total = 0u64;
+        let mut covered = 0u64;
+        for &m in &self.replica_mask {
+            let c = m.count_ones() as u64;
+            if c > 0 {
+                total += c;
+                covered += 1;
+            }
+        }
+        if covered == 0 {
+            1.0
+        } else {
+            total as f64 / covered as f64
+        }
+    }
+
+    /// Mirror count per machine (replicas that are not the master).
+    pub fn mirrors_per_machine(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_machines];
+        for v in 0..self.replica_mask.len() {
+            let mut mask = self.replica_mask[v];
+            while mask != 0 {
+                let m = mask.trailing_zeros();
+                mask &= mask - 1;
+                if m as u16 != self.master[v] {
+                    counts[m as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Fraction of edges on each machine (sums to 1 for non-empty graphs).
+    pub fn edge_shares(&self) -> Vec<f64> {
+        let total: usize = self.edges_per_machine.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.num_machines];
+        }
+        self.edges_per_machine
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// Index of the `k`-th (0-based) set bit of `mask`.
+///
+/// # Panics
+/// Panics if `mask` has fewer than `k + 1` set bits.
+fn nth_set_bit(mask: u64, k: u32) -> u32 {
+    let mut m = mask;
+    for _ in 0..k {
+        assert!(m != 0, "nth_set_bit out of bits");
+        m &= m - 1;
+    }
+    assert!(m != 0, "nth_set_bit out of bits");
+    m.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph_core::{Edge, EdgeList};
+
+    fn graph() -> Graph {
+        Graph::from_edge_list(EdgeList::from_edges(
+            5,
+            vec![
+                Edge::new(0, 1), // e0
+                Edge::new(1, 2), // e1
+                Edge::new(2, 3), // e2
+                Edge::new(0, 3), // e3
+            ],
+        ))
+    }
+
+    #[test]
+    fn replicas_follow_edge_placement() {
+        let g = graph();
+        // e0,e1 -> m0; e2,e3 -> m1
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 1, 1]);
+        assert_eq!(a.replica_count(0), 2); // edges on both machines
+        assert_eq!(a.replica_count(1), 1);
+        assert_eq!(a.replica_count(2), 2);
+        assert_eq!(a.replica_count(3), 1);
+        assert_eq!(a.replica_count(4), 0); // isolated
+        assert_eq!(a.edges_per_machine(), &[2, 2]);
+    }
+
+    #[test]
+    fn master_is_one_of_the_replicas() {
+        let g = graph();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 1, 1]);
+        for v in 0..4u32 {
+            assert!(
+                a.has_replica(v, a.master(v)),
+                "master must hold a replica of {v}"
+            );
+        }
+        // Isolated vertex still gets a valid master.
+        assert!(a.master(4).index() < 2);
+    }
+
+    #[test]
+    fn mirrors_and_replication_factor() {
+        let g = graph();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 1, 1]);
+        // v0 and v2 are split -> 2 mirrors total.
+        assert_eq!(a.total_mirrors(), 2);
+        // RF over covered vertices: (2+1+2+1)/4 = 1.5
+        assert!((a.replication_factor() - 1.5).abs() < 1e-12);
+        let per_machine: u64 = a.mirrors_per_machine().iter().sum();
+        assert_eq!(per_machine, 2);
+    }
+
+    #[test]
+    fn single_machine_has_no_mirrors() {
+        let g = graph();
+        let a = PartitionAssignment::from_edge_machines(&g, 1, vec![0, 0, 0, 0]);
+        assert_eq!(a.total_mirrors(), 0);
+        assert!((a.replication_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_shares_sum_to_one() {
+        let g = graph();
+        let a = PartitionAssignment::from_edge_machines(&g, 3, vec![0, 1, 2, 0]);
+        let s: f64 = a.edge_shares().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((a.edge_shares()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_machine_panics() {
+        let g = graph();
+        PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 5, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one machine per edge")]
+    fn wrong_length_panics() {
+        let g = graph();
+        PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0]);
+    }
+
+    #[test]
+    fn nth_set_bit_works() {
+        assert_eq!(nth_set_bit(0b1011, 0), 0);
+        assert_eq!(nth_set_bit(0b1011, 1), 1);
+        assert_eq!(nth_set_bit(0b1011, 2), 3);
+    }
+
+    #[test]
+    fn empty_graph_replication_factor_is_one() {
+        let g = Graph::from_edge_list(EdgeList::new(3));
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![]);
+        assert_eq!(a.replication_factor(), 1.0);
+        assert_eq!(a.edge_shares(), vec![0.0, 0.0]);
+    }
+}

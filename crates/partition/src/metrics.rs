@@ -1,0 +1,126 @@
+//! Partition quality metrics.
+
+use crate::assignment::PartitionAssignment;
+use crate::weights::MachineWeights;
+
+/// Quality summary of one partition against a target weight vector.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PartitionMetrics {
+    /// PowerGraph's λ: average replicas per covered vertex.
+    pub replication_factor: f64,
+    /// Total mirror replicas across machines.
+    pub total_mirrors: u64,
+    /// Fraction of edges per machine.
+    pub edge_shares: Vec<f64>,
+    /// `max_i share_i / weight_i` — how overloaded the worst machine is
+    /// relative to its capability share. 1.0 is a perfect weighted balance.
+    pub max_normalized_load: f64,
+    /// `max_i |share_i − weight_i| / weight_i` — worst relative deviation
+    /// from the target distribution.
+    pub weighted_balance_error: f64,
+}
+
+impl PartitionMetrics {
+    /// Compute metrics for `assignment` against `weights`.
+    ///
+    /// # Panics
+    /// Panics if machine counts mismatch.
+    pub fn compute(assignment: &PartitionAssignment, weights: &MachineWeights) -> Self {
+        assert_eq!(
+            assignment.num_machines(),
+            weights.len(),
+            "assignment and weights must cover the same machines"
+        );
+        let shares = assignment.edge_shares();
+        let mut max_norm: f64 = 0.0;
+        let mut max_err: f64 = 0.0;
+        for (i, &s) in shares.iter().enumerate() {
+            let w = weights.as_slice()[i];
+            max_norm = max_norm.max(s / w);
+            max_err = max_err.max((s - w).abs() / w);
+        }
+        PartitionMetrics {
+            replication_factor: assignment.replication_factor(),
+            total_mirrors: assignment.total_mirrors(),
+            edge_shares: shares,
+            max_normalized_load: max_norm,
+            weighted_balance_error: max_err,
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rf={:.3} mirrors={} max_norm_load={:.3} balance_err={:.3}",
+            self.replication_factor,
+            self.total_mirrors,
+            self.max_normalized_load,
+            self.weighted_balance_error
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph_core::{Edge, EdgeList, Graph};
+
+    fn graph() -> Graph {
+        Graph::from_edge_list(EdgeList::from_edges(
+            4,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(3, 0),
+            ],
+        ))
+    }
+
+    #[test]
+    fn perfect_uniform_split() {
+        let g = graph();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 1, 1]);
+        let m = PartitionMetrics::compute(&a, &MachineWeights::uniform(2));
+        assert!((m.max_normalized_load - 1.0).abs() < 1e-12);
+        assert!(m.weighted_balance_error < 1e-12);
+    }
+
+    #[test]
+    fn skewed_split_detected() {
+        let g = graph();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 0, 1]);
+        let m = PartitionMetrics::compute(&a, &MachineWeights::uniform(2));
+        // Machine 0 has 75% of edges at a 50% target -> normalized load 1.5.
+        assert!((m.max_normalized_load - 1.5).abs() < 1e-12);
+        assert!((m.weighted_balance_error - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_target_changes_interpretation() {
+        let g = graph();
+        // 75/25 split is PERFECT for a 3:1 weight vector.
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 0, 1]);
+        let m = PartitionMetrics::compute(&a, &MachineWeights::new(&[3.0, 1.0]));
+        assert!(m.weighted_balance_error < 1e-9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let g = graph();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 1, 1]);
+        let m = PartitionMetrics::compute(&a, &MachineWeights::uniform(2));
+        let s = m.to_string();
+        assert!(s.contains("rf=") && s.contains("mirrors="));
+    }
+
+    #[test]
+    #[should_panic(expected = "same machines")]
+    fn mismatched_machines_panic() {
+        let g = graph();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 1, 1]);
+        PartitionMetrics::compute(&a, &MachineWeights::uniform(3));
+    }
+}

@@ -1,0 +1,132 @@
+//! Random Hash partitioning (Section II-B-1).
+//!
+//! The PowerGraph baseline: each edge is assigned by a random hash of the
+//! edge. The heterogeneity-aware extension weighs machines so that "the
+//! probability of generating indexes for each machine strictly follows the
+//! CCR" (paper Fig 4): instead of a uniform `hash mod p`, the hash is
+//! mapped through the weighted threshold table of
+//! [`MachineWeights::pick`].
+
+use hetgraph_core::rng::{hash64, hash_combine};
+use hetgraph_core::Graph;
+
+use crate::assignment::PartitionAssignment;
+use crate::traits::Partitioner;
+use crate::weights::MachineWeights;
+
+/// Random-hash edge partitioner.
+#[derive(Debug, Clone)]
+pub struct RandomHash {
+    salt: u64,
+}
+
+impl RandomHash {
+    /// Default construction (fixed salt — partitioning must be a pure
+    /// function of the graph for reproducibility).
+    pub fn new() -> Self {
+        RandomHash {
+            salt: 0x9a4e_9a4e_0001,
+        }
+    }
+
+    /// Custom salt, for ingest-variance studies.
+    pub fn with_salt(salt: u64) -> Self {
+        RandomHash { salt }
+    }
+}
+
+impl Default for RandomHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Partitioner for RandomHash {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment {
+        let assignment: Vec<u16> = graph
+            .edges()
+            .iter()
+            .map(|e| {
+                let h = hash64(hash_combine(e.key(), self.salt));
+                weights.pick(h).0
+            })
+            .collect();
+        PartitionAssignment::from_edge_machines(graph, weights.len(), assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph_core::{Edge, EdgeList};
+
+    fn power_law_like_graph() -> Graph {
+        // A hub + noise: deterministic, enough edges for statistics.
+        let n = 2_000u32;
+        let mut edges = Vec::new();
+        for v in 1..n {
+            edges.push(Edge::new(0, v)); // hub fan-out
+            edges.push(Edge::new(v, (v * 7 + 1) % n));
+        }
+        Graph::from_edge_list(EdgeList::from_edges(n, edges))
+    }
+
+    #[test]
+    fn uniform_weights_balance_edges() {
+        let g = power_law_like_graph();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(4));
+        let shares = a.edge_shares();
+        for s in shares {
+            assert!((s - 0.25).abs() < 0.03, "share {s} far from uniform");
+        }
+    }
+
+    #[test]
+    fn weighted_assignment_follows_ccr() {
+        let g = power_law_like_graph();
+        let w = MachineWeights::from_ccr(&[1.0, 3.0]);
+        let a = RandomHash::new().partition(&g, &w);
+        let shares = a.edge_shares();
+        assert!((shares[0] - 0.25).abs() < 0.03, "share {}", shares[0]);
+        assert!((shares[1] - 0.75).abs() < 0.03, "share {}", shares[1]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = power_law_like_graph();
+        let w = MachineWeights::uniform(3);
+        let a = RandomHash::new().partition(&g, &w);
+        let b = RandomHash::new().partition(&g, &w);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_salts_differ() {
+        let g = power_law_like_graph();
+        let w = MachineWeights::uniform(3);
+        let a = RandomHash::with_salt(1).partition(&g, &w);
+        let b = RandomHash::with_salt(2).partition(&g, &w);
+        assert_ne!(a.edge_machines(), b.edge_machines());
+    }
+
+    #[test]
+    fn every_edge_assigned_exactly_once() {
+        let g = power_law_like_graph();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(5));
+        assert_eq!(a.edge_machines().len(), g.num_edges());
+        let total: usize = a.edges_per_machine().iter().sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn single_machine_trivial() {
+        let g = power_law_like_graph();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(1));
+        assert_eq!(a.edges_per_machine()[0], g.num_edges());
+        assert_eq!(a.total_mirrors(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! The partitioner interface.
+
+use hetgraph_core::Graph;
+
+use crate::assignment::PartitionAssignment;
+use crate::weights::MachineWeights;
+
+/// A streaming edge partitioner.
+///
+/// Implementations must be deterministic: the same `(graph, weights)` pair
+/// always yields the same assignment (experiment reproducibility depends on
+/// this).
+pub trait Partitioner {
+    /// Human-readable algorithm name (used in figures and reports).
+    fn name(&self) -> &'static str;
+
+    /// Partition `graph` across `weights.len()` machines, distributing
+    /// edges proportionally to the weights (uniform weights = the original
+    /// homogeneous algorithm).
+    fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment;
+}
+
+/// The five algorithms evaluated in the paper, as a value type for
+/// iteration in harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PartitionerKind {
+    /// Random hash of the edge (vertex cut; PowerGraph default).
+    RandomHash,
+    /// Greedy history-based placement (vertex cut).
+    Oblivious,
+    /// Constrained row/column intersection (vertex cut).
+    Grid,
+    /// Two-phase low/high-degree split (mixed cut; PowerLyra).
+    Hybrid,
+    /// Hybrid + Fennel-style scoring for low-degree vertices (mixed cut).
+    Ginger,
+}
+
+impl PartitionerKind {
+    /// All five, in the paper's figure order.
+    pub const ALL: [PartitionerKind; 5] = [
+        PartitionerKind::RandomHash,
+        PartitionerKind::Oblivious,
+        PartitionerKind::Grid,
+        PartitionerKind::Hybrid,
+        PartitionerKind::Ginger,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionerKind::RandomHash => "random",
+            PartitionerKind::Oblivious => "oblivious",
+            PartitionerKind::Grid => "grid",
+            PartitionerKind::Hybrid => "hybrid",
+            PartitionerKind::Ginger => "ginger",
+        }
+    }
+
+    /// Instantiate with default parameters.
+    pub fn build(self) -> Box<dyn Partitioner> {
+        match self {
+            PartitionerKind::RandomHash => Box::new(crate::RandomHash::new()),
+            PartitionerKind::Oblivious => Box::new(crate::Oblivious::new()),
+            PartitionerKind::Grid => Box::new(crate::Grid::new()),
+            PartitionerKind::Hybrid => Box::new(crate::Hybrid::new()),
+            PartitionerKind::Ginger => Box::new(crate::Ginger::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            PartitionerKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn build_matches_kind_name() {
+        for kind in PartitionerKind::ALL {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(PartitionerKind::Hybrid.to_string(), "hybrid");
+    }
+}

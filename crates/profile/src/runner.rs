@@ -1,0 +1,91 @@
+//! Communication-free single-machine profiling runs.
+//!
+//! The paper measures each machine group's graph processing speed by
+//! running the profiling set on one machine *in isolation*, so the
+//! measurement captures pure computational capability. We reproduce that
+//! by simulating on a one-machine cluster: every edge is local, there are
+//! no mirrors, and the network contributes only the per-superstep barrier.
+
+use hetgraph_apps::StandardApp;
+use hetgraph_cluster::{Cluster, MachineSpec};
+use hetgraph_core::Graph;
+use hetgraph_engine::SimEngine;
+use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
+
+/// Simulated wall-clock seconds for `app` on `graph` executed entirely on
+/// `machine` (the paper's per-machine profiling run).
+pub fn single_machine_time(machine: &MachineSpec, app: StandardApp, graph: &Graph) -> f64 {
+    let cluster = Cluster::new(vec![machine.clone()]);
+    let assignment = RandomHash::new().partition(graph, &MachineWeights::uniform(1));
+    let engine = SimEngine::new(&cluster);
+    app.run(&engine, graph, &assignment).makespan_s
+}
+
+/// Profiling-set time: the sum over several graphs (the paper combines
+/// each application with every synthetic graph into one profiling set).
+pub fn profiling_set_time(machine: &MachineSpec, app: StandardApp, graphs: &[Graph]) -> f64 {
+    graphs
+        .iter()
+        .map(|g| single_machine_time(machine, app, g))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph_cluster::catalog;
+    use hetgraph_gen::PowerLawConfig;
+
+    fn graph() -> Graph {
+        PowerLawConfig::new(1_500, 2.1).generate(11)
+    }
+
+    #[test]
+    fn faster_machine_finishes_sooner() {
+        let g = graph();
+        for app in StandardApp::ALL {
+            let slow = single_machine_time(&catalog::xeon_s(), app, &g);
+            let fast = single_machine_time(&catalog::xeon_l(), app, &g);
+            assert!(fast < slow, "{app}: fast {fast} !< slow {slow}");
+        }
+    }
+
+    #[test]
+    fn times_are_deterministic() {
+        let g = graph();
+        let a = single_machine_time(&catalog::c4_xlarge(), StandardApp::PageRank, &g);
+        let b = single_machine_time(&catalog::c4_xlarge(), StandardApp::PageRank, &g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiling_set_sums_graphs() {
+        let g1 = PowerLawConfig::new(800, 2.0).generate(1);
+        let g2 = PowerLawConfig::new(800, 2.3).generate(2);
+        let m = catalog::xeon_s();
+        let set = profiling_set_time(
+            &m,
+            StandardApp::ConnectedComponents,
+            &[g1.clone(), g2.clone()],
+        );
+        let separate = single_machine_time(&m, StandardApp::ConnectedComponents, &g1)
+            + single_machine_time(&m, StandardApp::ConnectedComponents, &g2);
+        assert!((set - separate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pagerank_saturates_on_big_machines() {
+        // The Fig 2 phenomenon, measured through the profiling interface:
+        // PageRank's gain from 4xlarge to 8xlarge is much smaller than
+        // TriangleCount's.
+        let g = graph();
+        let gain = |app: StandardApp| {
+            single_machine_time(&catalog::c4_4xlarge(), app, &g)
+                / single_machine_time(&catalog::c4_8xlarge(), app, &g)
+        };
+        let pr = gain(StandardApp::PageRank);
+        let tc = gain(StandardApp::TriangleCount);
+        assert!(tc > pr, "tc gain {tc} should exceed pagerank gain {pr}");
+        assert!(pr < 1.35, "pagerank should saturate, got gain {pr}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests on the core invariants of the whole stack.
+
+use hetgraph::core::rng::Xoshiro256;
+use hetgraph::core::{io, Edge, EdgeList, Graph};
+use hetgraph::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random directed graph as (vertex count, edge pairs).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        2u32..200,
+        proptest::collection::vec((0u64..10_000, 0u64..10_000), 1..400),
+    )
+        .prop_map(|(n, pairs)| {
+            let edges: Vec<Edge> = pairs
+                .into_iter()
+                .map(|(a, b)| Edge::new((a % n as u64) as u32, (b % n as u64) as u32))
+                .collect();
+            Graph::from_edge_list(EdgeList::from_edges(n, edges))
+        })
+}
+
+/// Strategy: positive machine weights for 1..=6 machines.
+fn arb_weights() -> impl Strategy<Value = MachineWeights> {
+    proptest::collection::vec(0.05f64..10.0, 1..=6).prop_map(|w| MachineWeights::new(&w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_roundtrips_edges(g in arb_graph()) {
+        // Every edge appears in the out-CSR of its source and the in-CSR
+        // of its target, with multiplicity.
+        let out_total: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_total: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_total, g.num_edges());
+        prop_assert_eq!(in_total, g.num_edges());
+        prop_assert!(g.validate());
+    }
+
+    #[test]
+    fn binary_io_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_binary(&mut buf, &g).unwrap();
+        let back = io::read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.edges(), g.edges());
+        prop_assert_eq!(back.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn partitioners_assign_every_edge_exactly_once(
+        g in arb_graph(),
+        w in arb_weights(),
+        kind_idx in 0usize..5,
+    ) {
+        let kind = PartitionerKind::ALL[kind_idx];
+        let a = kind.build().partition(&g, &w);
+        let total: usize = a.edges_per_machine().iter().sum();
+        prop_assert_eq!(total, g.num_edges());
+        // Replication factor bounds.
+        let rf = a.replication_factor();
+        prop_assert!(rf >= 1.0 - 1e-12);
+        prop_assert!(rf <= w.len() as f64 + 1e-12);
+        // Every vertex with an edge has a replica; masters hold replicas.
+        for v in g.vertices() {
+            if g.degree(v) > 0 {
+                prop_assert!(a.replica_count(v) >= 1);
+                prop_assert!(a.has_replica(v, a.master(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_is_deterministic(
+        g in arb_graph(),
+        w in arb_weights(),
+        kind_idx in 0usize..5,
+    ) {
+        let kind = PartitionerKind::ALL[kind_idx];
+        let a = kind.build().partition(&g, &w);
+        let b = kind.build().partition(&g, &w);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_pick_is_total_and_stable(w in arb_weights(), h in any::<u64>()) {
+        let m = w.pick(h);
+        prop_assert!(m.index() < w.len());
+        prop_assert_eq!(m, w.pick(h));
+    }
+
+    #[test]
+    fn alpha_fit_inverts_expected_degree(alpha in 1.3f64..3.0) {
+        // For any alpha in the natural band, fitting from the distribution's
+        // own expected density must recover it.
+        let d_max = 5_000usize;
+        let mean = hetgraph::gen::alpha::expected_avg_degree(alpha, d_max);
+        let n = 10_000_000u64;
+        let m = (mean * n as f64) as u64;
+        let fit = hetgraph::gen::alpha::fit_alpha_with_support(n, m, d_max).unwrap();
+        prop_assert!((fit.alpha - alpha).abs() < 0.02, "{} vs {}", fit.alpha, alpha);
+    }
+
+    #[test]
+    fn powerlaw_generator_edge_count_tracks_expectation(
+        // α > 2 keeps the degree variance finite; below that the edge count
+        // of a single sample legitimately swings by integer factors (the
+        // α = 1.95 regime is covered by the looser smoke property below).
+        alpha in 2.05f64..2.6,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PowerLawConfig::new(5_000, alpha);
+        let g = cfg.generate(seed);
+        let expected = cfg.expected_edges();
+        // Even with finite variance, a single hub draw can add tens of
+        // percent at this vertex count, so the upper bound is checked with
+        // the largest out-degree excluded.
+        let d_max_out = g.vertices().map(|v| g.out_degree(v)).max().unwrap_or(0) as f64;
+        let trimmed = g.num_edges() as f64 - d_max_out;
+        prop_assert!(
+            trimmed <= expected * 1.5,
+            "trimmed edges {} vs expected {}",
+            trimmed,
+            expected
+        );
+        prop_assert!(
+            g.num_edges() as f64 >= expected * 0.6,
+            "edges {} vs expected {}",
+            g.num_edges(),
+            expected
+        );
+        prop_assert!(g.validate());
+    }
+
+    #[test]
+    fn powerlaw_generator_heavy_tail_regime_stays_sane(
+        alpha in 1.8f64..2.05,
+        seed in any::<u64>(),
+    ) {
+        // Infinite-variance regime: only order-of-magnitude bounds hold
+        // per sample.
+        let cfg = PowerLawConfig::new(5_000, alpha);
+        let g = cfg.generate(seed);
+        let expected = cfg.expected_edges();
+        prop_assert!(g.num_edges() as f64 >= expected * 0.5);
+        prop_assert!(g.num_edges() as f64 <= expected * 8.0);
+        prop_assert!(g.validate());
+    }
+
+    #[test]
+    fn ccr_sets_normalize_to_slowest(times in proptest::collection::vec(0.01f64..100.0, 1..8)) {
+        let set = CcrSet::from_times("t", &times);
+        let min = set.ratios().iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!((min - 1.0).abs() < 1e-12);
+        prop_assert_eq!(set.ratios().len(), times.len());
+    }
+
+    #[test]
+    fn engine_results_survive_weight_changes(
+        g in arb_graph(),
+        w in arb_weights(),
+    ) {
+        // Changing weights changes placement, never CC results.
+        prop_assume!(w.len() >= 2);
+        let machines: Vec<_> = (0..w.len())
+            .map(|i| if i % 2 == 0 { catalog::xeon_s() } else { catalog::xeon_l() })
+            .collect();
+        let cluster = Cluster::new(machines);
+        let engine = SimEngine::new(&cluster);
+        let uniform = RandomHash::new().partition(&g, &MachineWeights::uniform(w.len()));
+        let skewed = RandomHash::new().partition(&g, &w);
+        let a = engine.run(&g, &uniform, &ConnectedComponents::new()).data;
+        let b = engine.run(&g, &skewed, &ConnectedComponents::new()).data;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bitset_behaves_like_hashset(ops in proptest::collection::vec((0usize..500, any::<bool>()), 1..200)) {
+        let mut bs = hetgraph::core::BitSet::new(500);
+        let mut hs = std::collections::HashSet::new();
+        for (i, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(i), hs.insert(i));
+            } else {
+                prop_assert_eq!(bs.remove(i), hs.remove(&i));
+            }
+        }
+        prop_assert_eq!(bs.len(), hs.len());
+        let from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_hs: Vec<usize> = hs.into_iter().collect();
+        from_hs.sort_unstable();
+        prop_assert_eq!(from_bs, from_hs);
+    }
+
+    #[test]
+    fn rng_bounded_uniformity_smoke(seed in any::<u64>(), bound in 1u64..1_000) {
+        let mut rng = Xoshiro256::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_bounded(bound) < bound);
+        }
+    }
+}
