@@ -8,7 +8,7 @@
 
 use hetgraph_cluster::AppProfile;
 use hetgraph_core::Graph;
-use hetgraph_engine::{SimEngine, SimReport};
+use hetgraph_engine::{DistributedGraph, SimEngine, SimReport};
 use hetgraph_partition::PartitionAssignment;
 
 use crate::coloring::Coloring;
@@ -69,21 +69,73 @@ impl StandardApp {
         graph: &Graph,
         assignment: &PartitionAssignment,
     ) -> SimReport {
+        self.run_with_threads(engine, graph, assignment, 1)
+    }
+
+    /// [`StandardApp::run`] with an engine-level host thread budget:
+    /// `host_threads == 1` uses the serial engine, anything larger
+    /// dispatches to [`SimEngine::run_parallel`]. Results are identical
+    /// for vertex data and within floating-point re-association for the
+    /// simulated times.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn run_with_threads(
+        self,
+        engine: &SimEngine<'_>,
+        graph: &Graph,
+        assignment: &PartitionAssignment,
+        host_threads: usize,
+    ) -> SimReport {
+        let dist = DistributedGraph::new(graph, assignment);
+        self.run_on_with_threads(engine, &dist, host_threads)
+    }
+
+    /// [`StandardApp::run_with_threads`] over a prebuilt
+    /// [`DistributedGraph`], so sweeps that execute several apps against
+    /// one cached partition build the O(edges) distributed view once.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn run_on_with_threads(
+        self,
+        engine: &SimEngine<'_>,
+        dist: &DistributedGraph<'_>,
+        host_threads: usize,
+    ) -> SimReport {
+        assert!(host_threads > 0, "need at least one host thread");
         match self {
             StandardApp::PageRank => {
-                engine
-                    .run(graph, assignment, &PageRank::new(PAGERANK_ITERATIONS))
-                    .report
+                let pr = PageRank::new(PAGERANK_ITERATIONS);
+                if host_threads == 1 {
+                    engine.run_on(dist, &pr).report
+                } else {
+                    engine.run_parallel_on(dist, &pr, host_threads).report
+                }
             }
-            StandardApp::Coloring => engine.run(graph, assignment, &Coloring::new()).report,
+            StandardApp::Coloring => {
+                let c = Coloring::new();
+                if host_threads == 1 {
+                    engine.run_on(dist, &c).report
+                } else {
+                    engine.run_parallel_on(dist, &c, host_threads).report
+                }
+            }
             StandardApp::ConnectedComponents => {
-                engine
-                    .run(graph, assignment, &ConnectedComponents::new())
-                    .report
+                let cc = ConnectedComponents::new();
+                if host_threads == 1 {
+                    engine.run_on(dist, &cc).report
+                } else {
+                    engine.run_parallel_on(dist, &cc, host_threads).report
+                }
             }
             StandardApp::TriangleCount => {
-                let tc = TriangleCount::for_graph(graph);
-                engine.run(graph, assignment, &tc).report
+                let tc = TriangleCount::for_graph(dist.graph());
+                if host_threads == 1 {
+                    engine.run_on(dist, &tc).report
+                } else {
+                    engine.run_parallel_on(dist, &tc, host_threads).report
+                }
             }
         }
     }
@@ -148,5 +200,27 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(StandardApp::PageRank.to_string(), "pagerank");
+    }
+
+    #[test]
+    fn threaded_dispatch_matches_serial_run() {
+        let g = PowerLawConfig::new(800, 2.1).generate(3);
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let engine = SimEngine::new(&cluster);
+        for app in standard_apps() {
+            let serial = app.run(&engine, &g, &a);
+            for threads in [1, 2, 4] {
+                let par = app.run_with_threads(&engine, &g, &a, threads);
+                assert_eq!(par.supersteps, serial.supersteps, "{app}/{threads}");
+                assert!(
+                    (par.makespan_s - serial.makespan_s).abs()
+                        < 1e-9 * serial.makespan_s.max(1.0),
+                    "{app}/{threads}: {} vs {}",
+                    par.makespan_s,
+                    serial.makespan_s
+                );
+            }
+        }
     }
 }

@@ -3,13 +3,13 @@
 //! Measures the real execution cost (host time, not simulated time) of the
 //! engine, which bounds how large an experiment a given machine can drive.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use hetgraph_apps::{ConnectedComponents, PageRank, StandardApp, TriangleCount};
 use hetgraph_cluster::Cluster;
-use hetgraph_engine::SimEngine;
-use hetgraph_gen::RmatConfig;
+use hetgraph_engine::{DistributedGraph, SimEngine};
+use hetgraph_gen::{ProxySet, RmatConfig};
 use hetgraph_partition::{Hybrid, MachineWeights, Partitioner};
 
 fn bench_engine(c: &mut Criterion) {
@@ -61,5 +61,39 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+fn bench_engine_threads(c: &mut Criterion) {
+    // Thread-scaling reference: PageRank on the largest standard proxy at
+    // the default experiment scale (64), over a shared distributed view,
+    // at increasing engine thread budgets. This is the host-parallelism
+    // trajectory future scaling PRs regress against.
+    let proxies = ProxySet::standard(64);
+    let spec = &proxies.proxies()[0];
+    let graph = spec.generate();
+    let cluster = Cluster::case2();
+    let assignment = Hybrid::new().partition(&graph, &MachineWeights::uniform(2));
+    let dist = DistributedGraph::new(&graph, &assignment);
+    let engine = SimEngine::new(&cluster);
+
+    let mut group = c.benchmark_group("engine_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("pagerank_scale64_proxy", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    black_box(
+                        StandardApp::PageRank
+                            .run_on_with_threads(&engine, &dist, t)
+                            .makespan_s,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_engine_threads);
 criterion_main!(benches);

@@ -1,15 +1,34 @@
 //! Runs the beyond-paper ablation studies.
 //!
-//! Usage: `exp_ablation [--scale N] [--out DIR]
+//! Usage: `exp_ablation [--scale N] [--out DIR] [--threads N]
 //!         [--study proxy_size|proxy_coverage|partitioners|threshold|stability|feedback|frequency]`
 
+const STUDIES: [&str; 7] = [
+    "proxy_size",
+    "proxy_coverage",
+    "partitioners",
+    "threshold",
+    "stability",
+    "feedback",
+    "frequency",
+];
+
 fn main() {
-    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args();
+    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args_with(&["--study"]);
     let study = rest
         .iter()
         .position(|a| a == "--study")
         .and_then(|i| rest.get(i + 1))
         .map(|s| s.as_str());
+    if let Some(s) = study {
+        if !STUDIES.contains(&s) {
+            eprintln!(
+                "error: unknown study {s:?}; expected one of {}",
+                STUDIES.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     let run_all = study.is_none();
     if run_all || study == Some("proxy_size") {
         hetgraph_bench::ablation::proxy_size(&ctx);

@@ -1,40 +1,128 @@
 //! Runs every experiment in paper order (the one-shot reproduction).
+//!
+//! Usage: `exp_all [--scale N] [--out DIR] [--threads N]`
+//!
+//! With `--out DIR` this additionally emits `BENCH_sweep.json`: host
+//! wall-clock per experiment phase at the configured thread count, plus a
+//! single-thread re-run of the headline phase as the speedup-vs-serial
+//! reference, so later PRs have a perf trajectory to regress against.
+
+use std::time::Instant;
+
+use hetgraph_bench::ExperimentContext;
+
+/// Host wall-clock of one experiment phase.
+#[derive(serde::Serialize)]
+struct PhaseTiming {
+    phase: String,
+    wall_s: f64,
+}
+
+/// The `BENCH_sweep.json` payload.
+#[derive(serde::Serialize)]
+struct BenchSweep {
+    threads: usize,
+    total_wall_s: f64,
+    phases: Vec<PhaseTiming>,
+    headline_wall_s: f64,
+    headline_serial_wall_s: f64,
+    headline_speedup_vs_serial: f64,
+}
+
+fn timed(phases: &mut Vec<PhaseTiming>, phase: &str, f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    let wall_s = t.elapsed().as_secs_f64();
+    phases.push(PhaseTiming {
+        phase: phase.to_string(),
+        wall_s,
+    });
+    println!();
+    wall_s
+}
 
 fn main() {
-    let (ctx, _) = hetgraph_bench::ExperimentContext::from_args();
-    hetgraph_bench::tables::table1(&ctx);
-    println!();
-    hetgraph_bench::tables::table2(&ctx);
-    println!();
-    hetgraph_bench::accuracy::fig2(&ctx);
-    println!();
-    hetgraph_bench::tables::fig6(&ctx);
-    println!();
-    hetgraph_bench::accuracy::fig8(&ctx, "a");
-    println!();
-    hetgraph_bench::accuracy::fig8(&ctx, "b");
-    println!();
-    hetgraph_bench::cases::fig9(&ctx);
-    println!();
-    hetgraph_bench::cases::fig10(&ctx, 2);
-    println!();
-    hetgraph_bench::cases::fig10(&ctx, 3);
-    println!();
-    hetgraph_bench::cost_fig::fig11(&ctx);
-    println!();
-    hetgraph_bench::headline::headline(&ctx);
-    println!();
-    hetgraph_bench::ablation::proxy_size(&ctx);
-    println!();
-    hetgraph_bench::ablation::proxy_coverage(&ctx);
-    println!();
-    hetgraph_bench::ablation::partitioner_quality(&ctx);
-    println!();
-    hetgraph_bench::ablation::hybrid_threshold(&ctx);
-    println!();
-    hetgraph_bench::ablation::ccr_stability(&ctx);
-    println!();
-    hetgraph_bench::ablation::feedback_convergence(&ctx);
-    println!();
-    hetgraph_bench::ablation::frequency_sweep(&ctx);
+    let ctx = ExperimentContext::from_args();
+    let mut phases = Vec::new();
+    let t0 = Instant::now();
+
+    timed(&mut phases, "table1", || {
+        hetgraph_bench::tables::table1(&ctx);
+    });
+    timed(&mut phases, "table2", || {
+        hetgraph_bench::tables::table2(&ctx);
+    });
+    timed(&mut phases, "fig2", || {
+        hetgraph_bench::accuracy::fig2(&ctx);
+    });
+    timed(&mut phases, "fig6", || {
+        hetgraph_bench::tables::fig6(&ctx);
+    });
+    timed(&mut phases, "fig8a", || {
+        hetgraph_bench::accuracy::fig8(&ctx, "a");
+    });
+    timed(&mut phases, "fig8b", || {
+        hetgraph_bench::accuracy::fig8(&ctx, "b");
+    });
+    timed(&mut phases, "fig9", || {
+        hetgraph_bench::cases::fig9(&ctx);
+    });
+    timed(&mut phases, "fig10_case2", || {
+        hetgraph_bench::cases::fig10(&ctx, 2);
+    });
+    timed(&mut phases, "fig10_case3", || {
+        hetgraph_bench::cases::fig10(&ctx, 3);
+    });
+    timed(&mut phases, "fig11", || {
+        hetgraph_bench::cost_fig::fig11(&ctx);
+    });
+    let headline_wall_s = timed(&mut phases, "headline", || {
+        hetgraph_bench::headline::headline(&ctx);
+    });
+    timed(&mut phases, "ablation_proxy_size", || {
+        hetgraph_bench::ablation::proxy_size(&ctx);
+    });
+    timed(&mut phases, "ablation_proxy_coverage", || {
+        hetgraph_bench::ablation::proxy_coverage(&ctx);
+    });
+    timed(&mut phases, "ablation_partitioners", || {
+        hetgraph_bench::ablation::partitioner_quality(&ctx);
+    });
+    timed(&mut phases, "ablation_threshold", || {
+        hetgraph_bench::ablation::hybrid_threshold(&ctx);
+    });
+    timed(&mut phases, "ablation_stability", || {
+        hetgraph_bench::ablation::ccr_stability(&ctx);
+    });
+    timed(&mut phases, "ablation_feedback", || {
+        hetgraph_bench::ablation::feedback_convergence(&ctx);
+    });
+    timed(&mut phases, "ablation_frequency", || {
+        hetgraph_bench::ablation::frequency_sweep(&ctx);
+    });
+
+    if ctx.out_dir.is_some() {
+        // Serial reference for the speedup column. The headline phase is
+        // the representative sweep (cases 2 + 3, full matrix); its rows
+        // are identical at any thread count, so only wall-clock differs.
+        let headline_serial_wall_s = if ctx.threads > 1 {
+            let mut serial = ctx.clone().with_threads(1);
+            serial.out_dir = None; // reference run: don't rewrite results
+            let t = Instant::now();
+            hetgraph_bench::headline::headline(&serial);
+            println!();
+            t.elapsed().as_secs_f64()
+        } else {
+            headline_wall_s
+        };
+        let sweep = BenchSweep {
+            threads: ctx.threads,
+            total_wall_s: t0.elapsed().as_secs_f64(),
+            phases,
+            headline_wall_s,
+            headline_serial_wall_s,
+            headline_speedup_vs_serial: headline_serial_wall_s / headline_wall_s,
+        };
+        hetgraph_bench::output::write_json(ctx.out_dir.as_deref(), "BENCH_sweep", &sweep);
+    }
 }

@@ -1,14 +1,21 @@
 //! Regenerates Fig 10: Cases 2-3 runtime + energy.
 //!
-//! Usage: `exp_fig10 [--scale N] [--out DIR] [--case 2|3]` (default: both)
+//! Usage: `exp_fig10 [--scale N] [--out DIR] [--threads N] [--case 2|3]`
+//! (default: both cases)
 
 fn main() {
-    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args();
+    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args_with(&["--case"]);
     let case = rest
         .iter()
         .position(|a| a == "--case")
         .and_then(|i| rest.get(i + 1))
-        .map(|s| s.parse::<u32>().expect("--case must be 2 or 3"));
+        .map(|s| match s.parse::<u32>() {
+            Ok(c @ (2 | 3)) => c,
+            _ => {
+                eprintln!("error: --case must be 2 or 3, got {s:?}");
+                std::process::exit(2);
+            }
+        });
     match case {
         Some(c) => {
             hetgraph_bench::cases::fig10(&ctx, c);

@@ -1,6 +1,6 @@
 //! Regenerates Fig 11: the cost/performance Pareto study.
 
 fn main() {
-    let (ctx, _) = hetgraph_bench::ExperimentContext::from_args();
+    let ctx = hetgraph_bench::ExperimentContext::from_args();
     hetgraph_bench::cost_fig::fig11(&ctx);
 }

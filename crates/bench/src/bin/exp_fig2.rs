@@ -1,6 +1,6 @@
 //! Regenerates Fig 2: estimated vs real speedup across c4 machines.
 
 fn main() {
-    let (ctx, _) = hetgraph_bench::ExperimentContext::from_args();
+    let ctx = hetgraph_bench::ExperimentContext::from_args();
     hetgraph_bench::accuracy::fig2(&ctx);
 }

@@ -1,6 +1,6 @@
 //! Regenerates Fig 6: the power-law degree distribution.
 
 fn main() {
-    let (ctx, _) = hetgraph_bench::ExperimentContext::from_args();
+    let ctx = hetgraph_bench::ExperimentContext::from_args();
     hetgraph_bench::tables::fig6(&ctx);
 }

@@ -1,9 +1,10 @@
 //! Regenerates Fig 8a/8b: CCR estimation accuracy.
 //!
-//! Usage: `exp_fig8 [--scale N] [--out DIR] [--part a|b]` (default: both)
+//! Usage: `exp_fig8 [--scale N] [--out DIR] [--threads N] [--part a|b]`
+//! (default: both parts)
 
 fn main() {
-    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args();
+    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args_with(&["--part"]);
     let part = rest
         .iter()
         .position(|a| a == "--part")

@@ -1,6 +1,6 @@
 //! Regenerates Fig 9: Case 1 runtime comparison.
 
 fn main() {
-    let (ctx, _) = hetgraph_bench::ExperimentContext::from_args();
+    let ctx = hetgraph_bench::ExperimentContext::from_args();
     hetgraph_bench::cases::fig9(&ctx);
 }

@@ -1,6 +1,15 @@
 //! Recomputes the abstract's aggregate claims.
+//!
+//! Usage: `exp_headline [--scale N] [--out DIR] [--threads N]`
 
 fn main() {
-    let (ctx, _) = hetgraph_bench::ExperimentContext::from_args();
+    let ctx = hetgraph_bench::ExperimentContext::from_args();
+    let t = std::time::Instant::now();
     hetgraph_bench::headline::headline(&ctx);
+    println!(
+        "\n[host wall-clock: {:.2}s on {} thread{}]",
+        t.elapsed().as_secs_f64(),
+        ctx.threads,
+        if ctx.threads == 1 { "" } else { "s" }
+    );
 }

@@ -1,9 +1,9 @@
 //! Regenerates Table I, Table II, and Fig 6.
 //!
-//! Usage: `exp_tables [--scale N] [--out DIR] [--table 1|2|6]`
+//! Usage: `exp_tables [--scale N] [--out DIR] [--threads N] [--table 1|2|6]`
 
 fn main() {
-    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args();
+    let (ctx, rest) = hetgraph_bench::ExperimentContext::from_args_with(&["--table"]);
     let which = rest
         .iter()
         .position(|a| a == "--table")
@@ -19,7 +19,11 @@ fn main() {
         Some("6") => {
             hetgraph_bench::tables::fig6(&ctx);
         }
-        _ => {
+        Some(other) => {
+            eprintln!("error: unknown table {other:?}; expected 1, 2, or 6");
+            std::process::exit(2);
+        }
+        None => {
             hetgraph_bench::tables::table1(&ctx);
             println!();
             hetgraph_bench::tables::table2(&ctx);

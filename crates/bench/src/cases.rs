@@ -4,9 +4,11 @@ use hetgraph_apps::{standard_apps, StandardApp};
 use hetgraph_cluster::Cluster;
 use hetgraph_core::stats;
 use hetgraph_core::Graph;
-use hetgraph_engine::SimEngine;
-use hetgraph_partition::{PartitionMetrics, PartitionerKind};
+use hetgraph_engine::{DistributedGraph, SimEngine};
+use hetgraph_partition::{MachineWeights, PartitionAssignment, PartitionMetrics, PartitionerKind};
 use hetgraph_profile::CcrPool;
+
+use std::collections::BTreeMap;
 
 use crate::context::ExperimentContext;
 use crate::output::{f3, pct, print_table, write_json};
@@ -33,10 +35,30 @@ pub struct CaseRow {
 
 /// Profile the cluster once (offline, as in Fig 7a) for this context.
 pub fn profile_pool(cluster: &Cluster, ctx: &ExperimentContext) -> CcrPool {
-    CcrPool::profile(cluster, &ctx.proxies(), &standard_apps())
+    CcrPool::profile_with_threads(cluster, &ctx.proxies(), &standard_apps(), ctx.threads)
 }
 
-/// Run the full measurement matrix.
+/// Execution accounting for one [`run_matrix`] call: how much work the
+/// partition memo saved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixStats {
+    /// Total (graph, partitioner, app, policy) cells simulated.
+    pub cells: usize,
+    /// Distinct (graph, partitioner, weight-vector) partitions actually
+    /// computed — everything else was a memo hit.
+    pub partitions_computed: usize,
+}
+
+/// Run the full measurement matrix over `host_threads` workers.
+///
+/// Rows come back in the serial nested-loop order (graph, partitioner,
+/// app, policy) regardless of the thread count, and every cell is a pure
+/// function of its inputs, so the output is byte-identical to a serial
+/// sweep. See DESIGN.md "Threading model" for the determinism contract
+/// and how the budget is split between sweep cells and engine supersteps.
+///
+/// # Panics
+/// Panics if `host_threads == 0`.
 pub fn run_matrix(
     cluster: &Cluster,
     pool: &CcrPool,
@@ -44,32 +66,102 @@ pub fn run_matrix(
     partitioners: &[PartitionerKind],
     policies: &[Policy],
     apps: &[StandardApp],
+    host_threads: usize,
 ) -> Vec<CaseRow> {
+    run_matrix_counted(cluster, pool, graphs, partitioners, policies, apps, host_threads).0
+}
+
+/// [`run_matrix`] also returning its [`MatrixStats`] (used by the
+/// partition-dedupe regression tests).
+///
+/// # Panics
+/// Panics if `host_threads == 0`.
+pub fn run_matrix_counted(
+    cluster: &Cluster,
+    pool: &CcrPool,
+    graphs: &[(String, Graph)],
+    partitioners: &[PartitionerKind],
+    policies: &[Policy],
+    apps: &[StandardApp],
+    host_threads: usize,
+) -> (Vec<CaseRow>, MatrixStats) {
+    assert!(host_threads > 0, "need at least one host thread");
     let engine = SimEngine::new(cluster);
-    let mut rows = Vec::new();
-    for (gname, graph) in graphs {
+
+    // Phase 1 (serial, cheap): enumerate cells in the canonical nested-
+    // loop order and dedupe their partition jobs. Policies differ per app
+    // only through the weight vector, so the memo key is the exact bit
+    // pattern of (graph, partitioner, weights) — e.g. `default` and
+    // `prior_work` weights are app-independent and partition once each.
+    let mut jobs: Vec<(usize, PartitionerKind, MachineWeights)> = Vec::new();
+    let mut job_index: BTreeMap<(usize, &'static str, Vec<u64>), usize> = BTreeMap::new();
+    let mut cells: Vec<(usize, PartitionerKind, StandardApp, Policy, usize)> = Vec::new();
+    for gi in 0..graphs.len() {
         for &kind in partitioners {
-            let partitioner = kind.build();
             for &app in apps {
                 for &policy in policies {
                     let weights = policy.weights(cluster, pool, app.name());
-                    let assignment = partitioner.partition(graph, &weights);
-                    let metrics = PartitionMetrics::compute(&assignment, &weights);
-                    let report = app.run(&engine, graph, &assignment);
-                    rows.push(CaseRow {
-                        app: app.name().to_string(),
-                        graph: gname.clone(),
-                        partitioner: kind.name().to_string(),
-                        policy: policy.name().to_string(),
-                        makespan_s: report.makespan_s,
-                        energy_j: report.total_energy_j(),
-                        replication_factor: metrics.replication_factor,
-                    });
+                    let bits: Vec<u64> = weights.as_slice().iter().map(|w| w.to_bits()).collect();
+                    let job = *job_index
+                        .entry((gi, kind.name(), bits))
+                        .or_insert_with(|| {
+                            jobs.push((gi, kind, weights));
+                            jobs.len() - 1
+                        });
+                    cells.push((gi, kind, app, policy, job));
                 }
             }
         }
     }
-    rows
+
+    // The budget goes to sweep-level fan-out first (cells are coarse and
+    // embarrassingly parallel); whatever is left over multiplies into
+    // each cell's engine. At realistic matrix sizes cells >= threads, so
+    // engine_threads == 1 and each cell runs the serial reference engine.
+    let sweep_threads = host_threads.min(cells.len()).max(1);
+    let engine_threads = (host_threads / sweep_threads).max(1);
+
+    // Phase 2 (parallel): each distinct partition job once.
+    let parts: Vec<(PartitionAssignment, PartitionMetrics)> =
+        hetgraph_core::par::scheduled(jobs.len(), sweep_threads, |j| {
+            let (gi, kind, weights) = &jobs[j];
+            let assignment = kind.build().partition(&graphs[*gi].1, weights);
+            let metrics = PartitionMetrics::compute(&assignment, weights);
+            (assignment, metrics)
+        });
+
+    // Phase 3 (parallel): one shared O(edges) distributed view per job,
+    // instead of one per cell.
+    let dists: Vec<DistributedGraph<'_>> =
+        hetgraph_core::par::scheduled(jobs.len(), sweep_threads, |j| {
+            DistributedGraph::new(&graphs[jobs[j].0].1, &parts[j].0)
+        });
+
+    // Phase 4 (parallel): simulate every cell; `scheduled` returns the
+    // reports in cell order, so assembly below is order-stable.
+    let reports = hetgraph_core::par::scheduled(cells.len(), sweep_threads, |k| {
+        let (_, _, app, _, job) = cells[k];
+        app.run_on_with_threads(&engine, &dists[job], engine_threads)
+    });
+
+    let rows = cells
+        .iter()
+        .zip(reports)
+        .map(|(&(gi, kind, app, policy, job), report)| CaseRow {
+            app: app.name().to_string(),
+            graph: graphs[gi].0.clone(),
+            partitioner: kind.name().to_string(),
+            policy: policy.name().to_string(),
+            makespan_s: report.makespan_s,
+            energy_j: report.total_energy_j(),
+            replication_factor: parts[job].1.replication_factor,
+        })
+        .collect();
+    let stats = MatrixStats {
+        cells: cells.len(),
+        partitions_computed: jobs.len(),
+    };
+    (rows, stats)
 }
 
 /// Find the row matching a (app, graph, partitioner, policy) tuple.
@@ -130,6 +222,7 @@ pub fn fig9(ctx: &ExperimentContext) -> Vec<CaseRow> {
         &PartitionerKind::ALL,
         &[Policy::Default, Policy::CcrGuided],
         &standard_apps(),
+        ctx.threads,
     );
 
     for app in standard_apps() {
@@ -209,6 +302,7 @@ pub fn fig10(ctx: &ExperimentContext, case: u32) -> Vec<CaseRow> {
         &PartitionerKind::ALL,
         &Policy::ALL,
         &standard_apps(),
+        ctx.threads,
     );
 
     let mut table = Vec::new();
@@ -318,6 +412,7 @@ mod tests {
             &TEST_PARTITIONERS,
             &Policy::ALL,
             &standard_apps(),
+            ctx.threads,
         );
         let prior = stats::geomean(&speedups_over(&rows, Policy::Default, Policy::PriorWork));
         let ccr = stats::geomean(&speedups_over(&rows, Policy::Default, Policy::CcrGuided));
@@ -344,6 +439,7 @@ mod tests {
             &TEST_PARTITIONERS,
             &Policy::ALL,
             &standard_apps(),
+            ctx.threads,
         );
         let prior = stats::mean(&energy_savings_over(
             &rows,
@@ -378,6 +474,7 @@ mod tests {
             &[PartitionerKind::RandomHash],
             &[Policy::Default, Policy::CcrGuided],
             &[StandardApp::PageRank],
+            ctx.threads,
         );
         assert_eq!(rows.len(), 2);
         let s = speedups_over(&rows, Policy::Default, Policy::CcrGuided);

@@ -13,6 +13,10 @@ pub struct ExperimentContext {
     pub scale: u32,
     /// Where to write machine-readable JSON results (`None` = stdout only).
     pub out_dir: Option<PathBuf>,
+    /// Host thread budget, split between sweep-level and engine-level
+    /// parallelism (see DESIGN.md "Threading model"). Defaults to
+    /// `HETGRAPH_THREADS` or, failing that, every available core.
+    pub threads: usize,
 }
 
 impl Default for ExperimentContext {
@@ -20,6 +24,7 @@ impl Default for ExperimentContext {
         ExperimentContext {
             scale: 64,
             out_dir: None,
+            threads: hetgraph_core::par::default_host_threads(),
         }
     }
 }
@@ -30,30 +35,102 @@ impl ExperimentContext {
         assert!(scale > 0, "scale must be positive");
         ExperimentContext {
             scale,
-            out_dir: None,
+            ..ExperimentContext::default()
         }
     }
 
-    /// Parse `--scale N` and `--out DIR` from command-line arguments
-    /// (unknown arguments are returned for the caller to interpret).
-    pub fn from_args() -> (Self, Vec<String>) {
-        let mut ctx = ExperimentContext::default();
-        let mut rest = Vec::new();
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--scale" => {
-                    let v = args.next().expect("--scale needs a value");
-                    ctx.scale = v.parse().expect("--scale must be a positive integer");
-                    assert!(ctx.scale > 0, "--scale must be positive");
-                }
-                "--out" => {
-                    ctx.out_dir = Some(PathBuf::from(args.next().expect("--out needs a value")));
-                }
-                other => rest.push(other.to_string()),
+    /// This context with an explicit host thread budget.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread budget must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Parse the shared flags (`--scale N`, `--out DIR`, `--threads N`)
+    /// from the process arguments. Any other flag is a usage error.
+    pub fn from_args() -> Self {
+        Self::from_args_with(&[]).0
+    }
+
+    /// [`ExperimentContext::from_args`] for binaries with extra
+    /// binary-specific flags: each name in `extra` (e.g. `"--case"`) is
+    /// accepted with one value and returned verbatim in the second tuple
+    /// element. Unrecognized `--*` flags (and stray positional arguments)
+    /// print a usage error listing the valid options and exit.
+    pub fn from_args_with(extra: &[&str]) -> (Self, Vec<String>) {
+        match Self::parse_args(std::env::args().skip(1), extra) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", Self::usage(extra));
+                std::process::exit(2);
             }
         }
-        (ctx, rest)
+    }
+
+    /// The flag-parsing core of [`ExperimentContext::from_args_with`],
+    /// separated from the process environment for testability.
+    pub fn parse_args<I>(args: I, extra: &[&str]) -> Result<(Self, Vec<String>), String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut ctx = ExperimentContext::default();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    ctx.scale = v
+                        .parse()
+                        .map_err(|_| format!("--scale must be a positive integer, got {v:?}"))?;
+                    if ctx.scale == 0 {
+                        return Err("--scale must be positive".into());
+                    }
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out needs a value")?;
+                    ctx.out_dir = Some(PathBuf::from(v));
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    ctx.threads = v
+                        .parse()
+                        .map_err(|_| format!("--threads must be a positive integer, got {v:?}"))?;
+                    if ctx.threads == 0 {
+                        return Err("--threads must be positive".into());
+                    }
+                }
+                other if extra.contains(&other) => {
+                    let v = it.next().ok_or_else(|| format!("{other} needs a value"))?;
+                    rest.push(other.to_string());
+                    rest.push(v);
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unrecognized flag {other:?}"));
+                }
+                other => {
+                    return Err(format!("unexpected argument {other:?}"));
+                }
+            }
+        }
+        Ok((ctx, rest))
+    }
+
+    /// The usage text listing every option this binary accepts.
+    pub fn usage(extra: &[&str]) -> String {
+        let mut s = String::from(
+            "valid options:\n  \
+             --scale N     graph downscale factor (default 64)\n  \
+             --out DIR     write machine-readable JSON results to DIR\n  \
+             --threads N   host thread budget (default: HETGRAPH_THREADS or all cores)",
+        );
+        for e in extra {
+            s.push_str(&format!("\n  {e} VALUE"));
+        }
+        s
     }
 
     /// The four natural-graph stand-ins at this context's scale, in Table
@@ -75,11 +152,16 @@ impl ExperimentContext {
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn default_scale_is_laptop_sized() {
         let ctx = ExperimentContext::default();
         assert_eq!(ctx.scale, 64);
         assert!(ctx.out_dir.is_none());
+        assert!(ctx.threads >= 1);
     }
 
     #[test]
@@ -107,5 +189,65 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_scale_rejected() {
         ExperimentContext::at_scale(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_thread_budget_rejected() {
+        ExperimentContext::default().with_threads(0);
+    }
+
+    #[test]
+    fn parse_args_accepts_shared_flags() {
+        let (ctx, rest) = ExperimentContext::parse_args(
+            argv(&["--scale", "128", "--threads", "4", "--out", "results"]),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(ctx.scale, 128);
+        assert_eq!(ctx.threads, 4);
+        assert_eq!(
+            ctx.out_dir.as_deref(),
+            Some(std::path::Path::new("results"))
+        );
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_flag() {
+        // The motivating typo: `--thread 8` must not silently run serial.
+        let err = ExperimentContext::parse_args(argv(&["--thread", "8"]), &[]).unwrap_err();
+        assert!(err.contains("--thread"), "err: {err}");
+    }
+
+    #[test]
+    fn parse_args_rejects_stray_positional() {
+        let err = ExperimentContext::parse_args(argv(&["case2"]), &[]).unwrap_err();
+        assert!(err.contains("case2"), "err: {err}");
+    }
+
+    #[test]
+    fn parse_args_threads_must_be_positive_integer() {
+        assert!(ExperimentContext::parse_args(argv(&["--threads", "0"]), &[]).is_err());
+        assert!(ExperimentContext::parse_args(argv(&["--threads", "many"]), &[]).is_err());
+        assert!(ExperimentContext::parse_args(argv(&["--threads"]), &[]).is_err());
+    }
+
+    #[test]
+    fn parse_args_passes_extra_flags_through() {
+        let (ctx, rest) =
+            ExperimentContext::parse_args(argv(&["--case", "3", "--scale", "256"]), &["--case"])
+                .unwrap();
+        assert_eq!(ctx.scale, 256);
+        assert_eq!(rest, argv(&["--case", "3"]));
+        // The same flag without the allowlist is an error.
+        assert!(ExperimentContext::parse_args(argv(&["--case", "3"]), &[]).is_err());
+    }
+
+    #[test]
+    fn usage_lists_extra_flags() {
+        let u = ExperimentContext::usage(&["--study"]);
+        assert!(u.contains("--threads"));
+        assert!(u.contains("--study"));
     }
 }

@@ -37,9 +37,10 @@ pub fn headline(ctx: &ExperimentContext) -> Headline {
         ctx.scale
     );
     let mut all_rows: Vec<CaseRow> = Vec::new();
+    // The graph set is cluster-independent: generate it once, not per case.
+    let graphs = ctx.natural_graphs();
     for cluster in [Cluster::case2(), Cluster::case3()] {
         let pool = profile_pool(&cluster, ctx);
-        let graphs = ctx.natural_graphs();
         let mut rows = run_matrix(
             &cluster,
             &pool,
@@ -47,6 +48,7 @@ pub fn headline(ctx: &ExperimentContext) -> Headline {
             &PartitionerKind::ALL,
             &Policy::ALL,
             &standard_apps(),
+            ctx.threads,
         );
         // Tag by cluster to keep (app, graph, partitioner) keys unique
         // across cases when aggregating.

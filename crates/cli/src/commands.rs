@@ -42,6 +42,19 @@ fn save_graph(path: &str, graph: &Graph) -> Result<(), CliError> {
     result.map_err(|e| CliError(format!("cannot write {path}: {e}")))
 }
 
+/// Resolve `--threads N` (default: `HETGRAPH_THREADS` or all cores).
+fn parse_threads(flags: &Flags) -> Result<usize, CliError> {
+    match flags.get("threads") {
+        None => Ok(hetgraph_core::par::default_host_threads()),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(CliError(format!(
+                "--threads must be a positive integer, got {v:?}"
+            ))),
+        },
+    }
+}
+
 /// Resolve `--cluster case1|case2|case3`.
 fn parse_cluster(name: &str) -> Result<Cluster, CliError> {
     match name {
@@ -253,17 +266,19 @@ pub fn partition(args: &[String]) -> Result<(), CliError> {
 
 /// `hetgraph profile` — profile a cluster with synthetic proxies.
 pub fn profile(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["cluster", "scale"])?;
+    let flags = Flags::parse(args, &["cluster", "scale", "threads"])?;
     let cluster = parse_cluster(flags.get("cluster").unwrap_or("case2"))?;
     let scale: u32 = flags.get_or("scale", 320u32)?;
     if scale == 0 {
         return Err(CliError("--scale must be positive".into()));
     }
+    let threads = parse_threads(&flags)?;
     println!(
         "profiling {} machines with the standard proxy set at 1/{scale} scale...\n",
         cluster.len()
     );
-    let pool = CcrPool::profile(&cluster, &ProxySet::standard(scale), &standard_apps());
+    let pool =
+        CcrPool::profile_with_threads(&cluster, &ProxySet::standard(scale), &standard_apps(), threads);
     let prior = PriorWorkEstimator::new().estimate(&cluster);
     println!("{:24} {}", "app", "CCR per machine (slowest = 1.0)");
     for set in pool.iter() {
@@ -279,19 +294,33 @@ pub fn profile(args: &[String]) -> Result<(), CliError> {
 pub fn simulate(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
-        &["input", "cluster", "app", "algorithm", "policy", "scale"],
+        &[
+            "input",
+            "cluster",
+            "app",
+            "algorithm",
+            "policy",
+            "scale",
+            "threads",
+        ],
     )?;
     let g = load_graph(flags.require("input")?)?;
     let cluster = parse_cluster(flags.get("cluster").unwrap_or("case2"))?;
     let app = parse_app(flags.get("app").unwrap_or("pagerank"))?;
     let kind = parse_partitioner(flags.get("algorithm").unwrap_or("hybrid"))?;
+    let threads = parse_threads(&flags)?;
     let policy = flags.get("policy").unwrap_or("ccr");
     let weights = match policy {
         "default" => MachineWeights::uniform(cluster.len()),
         "prior" => MachineWeights::from_thread_counts(&cluster),
         "ccr" => {
             let scale: u32 = flags.get_or("scale", 640u32)?;
-            let pool = CcrPool::profile(&cluster, &ProxySet::standard(scale.max(1)), &[app]);
+            let pool = CcrPool::profile_with_threads(
+                &cluster,
+                &ProxySet::standard(scale.max(1)),
+                &[app],
+                threads,
+            );
             MachineWeights::from_ccr(pool.ccr(app.name()).expect("just profiled").ratios())
         }
         other => {
@@ -302,7 +331,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
     };
     let assignment = kind.build().partition(&g, &weights);
     let engine = hetgraph_engine::SimEngine::new(&cluster);
-    let report = app.run(&engine, &g, &assignment);
+    let report = app.run_with_threads(&engine, &g, &assignment, threads);
     println!("{report}");
     println!(
         "per-machine busy: [{}]",

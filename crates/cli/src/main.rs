@@ -32,10 +32,12 @@ commands:
   partition  partition a graph and print quality metrics
              --input FILE [--machines K] [--algorithm NAME] [--weights a,b,...]
   profile    proxy-profile a cluster (prints the CCR pool)
-             [--cluster case1|case2|case3] [--scale N]
+             [--cluster case1|case2|case3] [--scale N] [--threads N]
   simulate   run one application on a simulated heterogeneous cluster
              --input FILE [--cluster C] [--app A] [--algorithm P]
-             [--policy default|prior|ccr] [--scale N]
+             [--policy default|prior|ccr] [--scale N] [--threads N]
+
+--threads defaults to HETGRAPH_THREADS or every available core.
 ";
 
 fn main() {

@@ -21,6 +21,8 @@
 //!   relative errors) used by the profiling and evaluation crates.
 //! - [`bitset`] — a compact fixed-size bitset used by the engine for active
 //!   vertex sets.
+//! - [`par`] — deterministic self-scheduling fan-out, shared by the engine's
+//!   superstep parallelism and the benchmark sweep's cell parallelism.
 //! - [`io`] — text and binary edge-list serialization.
 //!
 //! The substrate deliberately contains no policy: partitioning, machine
@@ -37,6 +39,7 @@ pub mod edge_list;
 pub mod error;
 pub mod graph;
 pub mod io;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod transform;

@@ -4,24 +4,31 @@
 //! experiment sweeps the gather phase dominates host time, and it is
 //! embarrassingly parallel across vertices (GAS methods are pure), so this
 //! module adds [`SimEngine::run_parallel`]: the same simulation, with the
-//! gather/apply and scatter phases fanned out over host threads.
+//! gather/apply and scatter phases fanned out over host threads via the
+//! shared [`hetgraph_core::par::scheduled`] self-scheduling pool.
 //!
 //! **Determinism is preserved exactly for vertex data** and to within
 //! floating-point re-association for the simulated times: active vertices
 //! are split into fixed chunks, threads self-schedule chunks off a shared
-//! atomic cursor (so power-law work skew cannot idle threads), and results
-//! are merged *in chunk order* afterwards. Per-vertex outputs are pure
-//! functions of the previous superstep, so the merged state is identical
-//! to the sequential engine's.
+//! atomic cursor (so power-law work skew cannot idle threads), and
+//! `scheduled` hands results back *in chunk order*. Per-vertex outputs are
+//! pure functions of the previous superstep, so the merged state is
+//! identical to the sequential engine's.
+//!
+//! The hot path avoids per-superstep allocation churn: the active list,
+//! changed list, and activation bitsets are reused across supersteps, the
+//! chunk slices are derived from index arithmetic instead of a collected
+//! `Vec<&[u32]>`, and the per-chunk scratch buffers (work counts, sync
+//! counts, change lists) cycle through a [`Pool`] so a superstep reuses
+//! the previous superstep's allocations.
 //!
 //! Note the distinction between the two kinds of time here: `run_parallel`
 //! changes how long the *host* takes to compute the simulation; the
 //! *simulated* cluster times it produces are the same quantity `run`
 //! produces.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use hetgraph_cluster::{EnergyModel, EnergyReport, GraphShape, WorkCounts};
+use hetgraph_core::par::{scheduled, Pool};
 use hetgraph_core::{BitSet, Graph, MachineId, VertexId};
 use hetgraph_partition::PartitionAssignment;
 
@@ -34,52 +41,54 @@ use crate::sim::{SimEngine, SimOutcome};
 /// cannot stall the tail, big enough to amortize the atomic fetch.
 const CHUNK: usize = 1_024;
 
-/// Per-chunk result of the gather/apply phase.
+/// Per-chunk result of the gather/apply phase. The buffers are pooled:
+/// after the merge drains them they go back to the [`Pool`] for the next
+/// superstep's chunks.
 struct GatherChunk<D> {
-    index: usize,
     changes: Vec<(VertexId, D, bool)>,
     work: Vec<WorkCounts>,
     sync_counts: Vec<u64>,
 }
 
-/// Per-chunk result of the scatter phase.
+impl<D> GatherChunk<D> {
+    fn new(p: usize) -> Self {
+        GatherChunk {
+            changes: Vec::new(),
+            work: vec![WorkCounts::zero(); p],
+            sync_counts: vec![0u64; p],
+        }
+    }
+
+    /// Reset for reuse; `changes` is expected to be already drained.
+    fn recycle(&mut self) {
+        debug_assert!(self.changes.is_empty(), "changes must be drained first");
+        for w in &mut self.work {
+            *w = WorkCounts::zero();
+        }
+        self.sync_counts.fill(0);
+    }
+}
+
+/// Per-chunk result of the scatter phase, pooled like [`GatherChunk`].
 struct ScatterChunk {
-    index: usize,
     work: Vec<WorkCounts>,
     activations: Vec<VertexId>,
 }
 
-/// Run `job` over `chunks` with self-scheduling worker threads, returning
-/// results sorted back into chunk order.
-fn scheduled<'a, T: Send, C: Sync + ?Sized>(
-    chunks: &'a [&'a C],
-    host_threads: usize,
-    job: impl Fn(usize, &'a C) -> T + Sync,
-    sort_key: impl Fn(&T) -> usize,
-) -> Vec<T> {
-    let cursor = AtomicUsize::new(0);
-    let workers = host_threads.min(chunks.len()).max(1);
-    let mut results: Vec<T> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(chunk) = chunks.get(idx) else { break };
-                        out.push(job(idx, chunk));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
-    results.sort_unstable_by_key(sort_key);
-    results
+impl ScatterChunk {
+    fn new(p: usize) -> Self {
+        ScatterChunk {
+            work: vec![WorkCounts::zero(); p],
+            activations: Vec::new(),
+        }
+    }
+
+    fn recycle(&mut self) {
+        for w in &mut self.work {
+            *w = WorkCounts::zero();
+        }
+        self.activations.clear();
+    }
 }
 
 impl SimEngine<'_> {
@@ -101,7 +110,31 @@ impl SimEngine<'_> {
         P::VertexData: Send + Sync,
         P::Accum: Send,
     {
+        let dist = DistributedGraph::new(graph, assignment);
+        self.run_parallel_on(&dist, program, host_threads)
+    }
+
+    /// [`SimEngine::run_parallel`] over a prebuilt [`DistributedGraph`].
+    ///
+    /// Building the distributed view is O(edges); sweeps that execute many
+    /// apps over one partition build it once and call this per app.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0` or on a cluster/assignment mismatch.
+    pub fn run_parallel_on<P>(
+        &self,
+        dist: &DistributedGraph<'_>,
+        program: &P,
+        host_threads: usize,
+    ) -> SimOutcome<P::VertexData>
+    where
+        P: GasProgram + Sync,
+        P::VertexData: Send + Sync,
+        P::Accum: Send,
+    {
         assert!(host_threads > 0, "need at least one host thread");
+        let graph = dist.graph();
+        let assignment = dist.assignment();
         assert_eq!(
             assignment.num_machines(),
             self.cluster().len(),
@@ -109,7 +142,6 @@ impl SimEngine<'_> {
         );
         let p = self.cluster().len();
         let n = graph.num_vertices() as usize;
-        let dist = DistributedGraph::new(graph, assignment);
         let profile = program.profile();
         profile.assert_valid();
         let shape = GraphShape::of(graph);
@@ -138,70 +170,93 @@ impl SimEngine<'_> {
         let mut converged = false;
         let mut steps: Vec<crate::report::StepRecord> = Vec::new();
 
+        // Buffers reused across supersteps (see module docs).
+        let mut active_list: Vec<u32> = Vec::new();
+        let mut changed: Vec<u32> = Vec::new();
+        let mut next_active = BitSet::new(n);
+        let mut step_work = vec![WorkCounts::zero(); p];
+        let mut sync_counts = vec![0u64; p];
+        let mut busy = vec![0.0f64; p];
+        let gather_pool: Pool<GatherChunk<P::VertexData>> = Pool::new();
+        let scatter_pool: Pool<ScatterChunk> = Pool::new();
+
         for step in 0..program.max_supersteps() {
             if active.is_empty() {
                 converged = true;
                 break;
             }
-            let active_list: Vec<u32> = active.iter().map(|v| v as u32).collect();
-            let chunks: Vec<&[u32]> = active_list.chunks(CHUNK).collect();
+            active_list.clear();
+            active_list.extend(active.iter().map(|v| v as u32));
+            for w in &mut step_work {
+                *w = WorkCounts::zero();
+            }
+            sync_counts.fill(0);
 
             // --- Gather + Apply, fanned out ---
-            let gathered: Vec<GatherChunk<P::VertexData>> = scheduled(
-                &chunks,
-                host_threads,
-                |idx, chunk| {
+            let n_chunks = active_list.len().div_ceil(CHUNK);
+            let gathered: Vec<GatherChunk<P::VertexData>> =
+                scheduled(n_chunks, host_threads, |idx| {
+                    let lo = idx * CHUNK;
+                    let hi = (lo + CHUNK).min(active_list.len());
+                    let mut out = gather_pool.take(|| GatherChunk::new(p));
                     gather_chunk(
-                        idx, chunk, graph, &dist, assignment, program, &data, step, p,
-                    )
-                },
-                |c| c.index,
-            );
+                        &mut out,
+                        &active_list[lo..hi],
+                        graph,
+                        dist,
+                        assignment,
+                        program,
+                        &data,
+                        step,
+                    );
+                    out
+                });
 
-            let mut step_work = vec![WorkCounts::zero(); p];
-            let mut sync_counts = vec![0u64; p];
-            for c in &gathered {
+            // --- Merge in chunk order, commit applies (Jacobi barrier) ---
+            changed.clear();
+            for mut c in gathered {
                 for i in 0..p {
                     step_work[i].add(c.work[i]);
                     sync_counts[i] += c.sync_counts[i];
                 }
-            }
-
-            // --- Commit applies (Jacobi barrier), collect changed ids ---
-            let mut changed: Vec<u32> = Vec::new();
-            for c in gathered {
-                for (v, nd, did_change) in c.changes {
+                for (v, nd, did_change) in c.changes.drain(..) {
                     data[v as usize] = nd;
                     if did_change {
                         changed.push(v);
                     }
                 }
+                c.recycle();
+                gather_pool.put(c);
             }
 
             // --- Scatter, fanned out over changed vertices ---
-            let mut next_active = BitSet::new(n);
+            next_active.clear();
             if program.scatter_direction() != Direction::None && !changed.is_empty() {
-                let sc_chunks: Vec<&[u32]> = changed.chunks(CHUNK).collect();
-                let scattered: Vec<ScatterChunk> = scheduled(
-                    &sc_chunks,
-                    host_threads,
-                    |idx, chunk| scatter_chunk(idx, chunk, graph, &dist, program, &data, p),
-                    |c| c.index,
-                );
-                for c in scattered {
+                let n_sc_chunks = changed.len().div_ceil(CHUNK);
+                let scattered: Vec<ScatterChunk> = scheduled(n_sc_chunks, host_threads, |idx| {
+                    let lo = idx * CHUNK;
+                    let hi = (lo + CHUNK).min(changed.len());
+                    let mut out = scatter_pool.take(|| ScatterChunk::new(p));
+                    scatter_chunk(&mut out, &changed[lo..hi], graph, dist, program, &data);
+                    out
+                });
+                for mut c in scattered {
                     for i in 0..p {
                         step_work[i].add(c.work[i]);
                     }
-                    for u in c.activations {
+                    for &u in &c.activations {
                         next_active.insert(u as usize);
                     }
+                    c.recycle();
+                    scatter_pool.put(c);
                 }
             }
 
             // --- Timing, energy, bookkeeping (same as the serial path) ---
-            let busy: Vec<f64> = (0..p)
-                .map(|i| profile.time_seconds(&machines[i], &step_work[i], &shape))
-                .collect();
+            busy.clear();
+            busy.extend(
+                (0..p).map(|i| profile.time_seconds(&machines[i], &step_work[i], &shape)),
+            );
             let step_compute = busy.iter().copied().fold(0.0f64, f64::max);
             let step_comm = self.network().step_comm_s(machines, &sync_counts);
             let step_wall = step_compute + step_comm;
@@ -223,7 +278,7 @@ impl SimEngine<'_> {
             compute_total += step_compute;
             comm_total += step_comm;
             supersteps += 1;
-            active = next_active;
+            std::mem::swap(&mut active, &mut next_active);
         }
         if active.is_empty() {
             converged = true;
@@ -249,7 +304,7 @@ impl SimEngine<'_> {
 
 #[allow(clippy::too_many_arguments)]
 fn gather_chunk<P>(
-    index: usize,
+    out: &mut GatherChunk<P::VertexData>,
     chunk: &[u32],
     graph: &Graph,
     dist: &DistributedGraph<'_>,
@@ -257,14 +312,15 @@ fn gather_chunk<P>(
     program: &P,
     data: &[P::VertexData],
     step: usize,
-    p: usize,
-) -> GatherChunk<P::VertexData>
-where
+) where
     P: GasProgram + Sync,
 {
-    let mut work = vec![WorkCounts::zero(); p];
-    let mut sync_counts = vec![0u64; p];
-    let mut changes = Vec::with_capacity(chunk.len());
+    let GatherChunk {
+        changes,
+        work,
+        sync_counts,
+    } = out;
+    changes.reserve(chunk.len());
     for &v in chunk {
         let mut acc: Option<P::Accum> = None;
         for_each_neighbor(dist, v, program.gather_direction(), |u, m| {
@@ -295,28 +351,19 @@ where
             }
         }
     }
-    GatherChunk {
-        index,
-        changes,
-        work,
-        sync_counts,
-    }
 }
 
 fn scatter_chunk<P>(
-    index: usize,
+    out: &mut ScatterChunk,
     chunk: &[u32],
     graph: &Graph,
     dist: &DistributedGraph<'_>,
     program: &P,
     data: &[P::VertexData],
-    p: usize,
-) -> ScatterChunk
-where
+) where
     P: GasProgram + Sync,
 {
-    let mut work = vec![WorkCounts::zero(); p];
-    let mut activations = Vec::new();
+    let ScatterChunk { work, activations } = out;
     for &v in chunk {
         for_each_neighbor(dist, v, program.scatter_direction(), |u, m| {
             work[m.index()].edge_units += 1.0;
@@ -324,11 +371,6 @@ where
                 activations.push(u);
             }
         });
-    }
-    ScatterChunk {
-        index,
-        work,
-        activations,
     }
 }
 
@@ -498,6 +540,22 @@ mod tests {
         let r2 = engine.run_parallel(&g, &a, &MinLabel, 4);
         assert_eq!(r1.data, r2.data);
         assert_eq!(r1.report, r2.report);
+    }
+
+    #[test]
+    fn run_parallel_on_shared_view_matches_run_parallel() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let engine = SimEngine::new(&cluster);
+        let dist = DistributedGraph::new(&g, &a);
+        let direct = engine.run_parallel(&g, &a, &MinLabel, 2);
+        let shared = engine.run_parallel_on(&dist, &MinLabel, 2);
+        assert_eq!(direct.data, shared.data);
+        assert_eq!(direct.report, shared.report);
+        // The serial engine over the same shared view agrees too.
+        let serial = engine.run_on(&dist, &MinLabel);
+        assert_eq!(serial.data, shared.data);
     }
 
     #[test]

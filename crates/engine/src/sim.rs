@@ -76,6 +76,24 @@ impl<'a> SimEngine<'a> {
         assignment: &PartitionAssignment,
         program: &P,
     ) -> SimOutcome<P::VertexData> {
+        let dist = DistributedGraph::new(graph, assignment);
+        self.run_on(&dist, program)
+    }
+
+    /// [`SimEngine::run`] over a prebuilt [`DistributedGraph`].
+    ///
+    /// Building the distributed view is O(edges); sweeps that execute many
+    /// apps over one partition build it once and call this per app.
+    ///
+    /// # Panics
+    /// Panics if the assignment's machine count differs from the cluster's.
+    pub fn run_on<P: GasProgram>(
+        &self,
+        dist: &DistributedGraph<'_>,
+        program: &P,
+    ) -> SimOutcome<P::VertexData> {
+        let graph = dist.graph();
+        let assignment = dist.assignment();
         assert_eq!(
             assignment.num_machines(),
             self.cluster.len(),
@@ -83,7 +101,6 @@ impl<'a> SimEngine<'a> {
         );
         let p = self.cluster.len();
         let n = graph.num_vertices() as usize;
-        let dist = DistributedGraph::new(graph, assignment);
         let profile = program.profile();
         profile.assert_valid();
         let shape = GraphShape::of(graph);
@@ -129,7 +146,7 @@ impl<'a> SimEngine<'a> {
             for v in active.iter() {
                 let v = v as VertexId;
                 let mut acc: Option<P::Accum> = None;
-                for_each_neighbor(&dist, v, program.gather_direction(), |u, m| {
+                for_each_neighbor(dist, v, program.gather_direction(), |u, m| {
                     let (contrib, w) = program.gather(graph, &data, v, u);
                     step_work[m.index()].edge_units += w;
                     if let Some(c) = contrib {
@@ -177,7 +194,7 @@ impl<'a> SimEngine<'a> {
                 if !changed {
                     continue;
                 }
-                for_each_neighbor(&dist, v, program.scatter_direction(), |u, m| {
+                for_each_neighbor(dist, v, program.scatter_direction(), |u, m| {
                     step_work[m.index()].edge_units += 1.0;
                     if program.scatter_activates(graph, &data, v, u, changed) {
                         next_active.insert(u as usize);

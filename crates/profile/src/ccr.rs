@@ -114,15 +114,42 @@ impl CcrPool {
     ///    each application on each proxy, on the machine in isolation;
     /// 3. expand group times to all members and form CCRs (Eq. 1).
     pub fn profile(cluster: &Cluster, proxies: &ProxySet, apps: &[StandardApp]) -> Self {
-        let graphs: Vec<Graph> = proxies.proxies().iter().map(|p| p.generate()).collect();
+        Self::profile_with_threads(cluster, proxies, apps, 1)
+    }
+
+    /// [`CcrPool::profile`] with a host thread budget: proxy graph
+    /// generation and the (application × machine group) measurement cells
+    /// fan out over [`hetgraph_core::par::scheduled`] workers. Every
+    /// measurement is a pure function of its cell, and results are merged
+    /// in deterministic cell order, so the pool is identical for any
+    /// thread count.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn profile_with_threads(
+        cluster: &Cluster,
+        proxies: &ProxySet,
+        apps: &[StandardApp],
+        host_threads: usize,
+    ) -> Self {
+        let specs = proxies.proxies();
+        let graphs: Vec<Graph> =
+            hetgraph_core::par::scheduled(specs.len(), host_threads, |i| specs[i].generate());
         let groups = cluster.groups();
+        let group_list: Vec<_> = groups.iter().collect();
+        let n_groups = group_list.len();
+        // One measurement cell per (application, machine group).
+        let cell_times: Vec<f64> =
+            hetgraph_core::par::scheduled(apps.len() * n_groups, host_threads, |k| {
+                let (ai, gi) = (k / n_groups, k % n_groups);
+                let rep = cluster.machine(group_list[gi].1[0]);
+                profiling_set_time(rep, apps[ai], &graphs)
+            });
         let mut pool = CcrPool::new();
-        for &app in apps {
-            // One measurement per machine *group*.
+        for (ai, &app) in apps.iter().enumerate() {
             let mut group_time: BTreeMap<&str, f64> = BTreeMap::new();
-            for (name, members) in &groups {
-                let rep = cluster.machine(members[0]);
-                group_time.insert(name.as_str(), profiling_set_time(rep, app, &graphs));
+            for (gi, (name, _)) in group_list.iter().enumerate() {
+                group_time.insert(name.as_str(), cell_times[ai * n_groups + gi]);
             }
             // Expand to the full machine list in cluster order.
             let times: Vec<f64> = cluster
@@ -221,6 +248,17 @@ mod tests {
         let r = pool.ccr("pagerank").unwrap().ratios();
         assert_eq!(r[0], r[2], "same-type machines share the profiled CCR");
         assert!(r[1] > r[0]);
+    }
+
+    #[test]
+    fn profile_with_threads_matches_serial_exactly() {
+        let cluster = Cluster::case3();
+        let proxies = ProxySet::standard(6400);
+        let serial = CcrPool::profile(&cluster, &proxies, &standard_apps());
+        for threads in [2, 4] {
+            let par = CcrPool::profile_with_threads(&cluster, &proxies, &standard_apps(), threads);
+            assert_eq!(par, serial, "{threads} threads");
+        }
     }
 
     #[test]

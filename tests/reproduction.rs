@@ -77,6 +77,7 @@ fn case1_ccr_beats_default_where_prior_is_blind() {
         &[PartitionerKind::RandomHash, PartitionerKind::Grid],
         &[Policy::Default, Policy::CcrGuided],
         &hetgraph::apps::standard_apps(),
+        ctx.threads,
     );
     let s = stats::geomean(&speedups_over(&rows, Policy::Default, Policy::CcrGuided));
     // At this reduced test scale, per-superstep barrier time dilutes the

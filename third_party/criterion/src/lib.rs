@@ -1,0 +1,259 @@
+//! Offline stand-in for `criterion` (see `third_party/README.md`).
+//!
+//! Keeps the macro/API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter` — and measures with plain
+//! `std::time::Instant`. No statistical analysis, HTML reports, or
+//! baseline comparison: each benchmark prints its median sample time
+//! (and derived throughput) to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration used to derive a rate from the
+/// measured time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s as benchmark labels.
+pub trait IntoLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.id
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the harness-chosen number of iterations, recording
+    /// total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    // Calibration pass: find an iteration count that runs long enough
+    // to time reliably (~25ms per sample), capped to keep total
+    // benchmark time bounded.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(25);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        samples.push(b.elapsed / iters as u32);
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.3} Melem/s)", rate_per_s(n, median) / 1e6),
+        Throughput::Bytes(n) => format!(" ({:.3} MiB/s)", rate_per_s(n, median) / (1u64 << 20) as f64),
+    });
+    println!(
+        "{label:<50} {:>12}/iter{}",
+        format_duration(median),
+        rate.unwrap_or_default()
+    );
+}
+
+fn rate_per_s(items: u64, per_iter: Duration) -> f64 {
+    items as f64 / per_iter.as_secs_f64().max(1e-12)
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Group benchmark functions under one callable, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(format_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(5)), "5.00 ms");
+    }
+}

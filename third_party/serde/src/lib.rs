@@ -1,0 +1,237 @@
+//! Offline stand-in for `serde` (see `third_party/README.md`).
+//!
+//! The real serde serializes through a visitor (`Serializer`); this
+//! stand-in serializes into an owned [`Value`] tree that `serde_json`
+//! then prints. That covers every use in this workspace — derived
+//! `Serialize` on plain data types fed to `serde_json::to_string_pretty`
+//! — with a fraction of the machinery.
+
+// Lets the derive's generated `::serde::` paths resolve inside this
+// crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Owned JSON-like data model produced by [`Serialize::to_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number (non-finite prints as `null`, as in serde_json).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+/// A type that can serialize itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to the owned data model.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.display().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-3i32).to_value(), Value::Int(-3));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1u32, "a".to_string())];
+        assert_eq!(
+            v.to_value(),
+            Value::Seq(vec![Value::Seq(vec![
+                Value::UInt(1),
+                Value::Str("a".into())
+            ])])
+        );
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            score: f64,
+        }
+        let v = Row {
+            name: "a".into(),
+            score: 2.0,
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                ("name".into(), Value::Str("a".into())),
+                ("score".into(), Value::Float(2.0)),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_newtype_and_enum() {
+        #[derive(Serialize)]
+        struct Id(u16);
+        #[derive(Serialize)]
+        enum Kind {
+            A,
+            B(u32, u32),
+            C { x: u8 },
+        }
+        assert_eq!(Id(7).to_value(), Value::UInt(7));
+        assert_eq!(Kind::A.to_value(), Value::Str("A".into()));
+        assert_eq!(
+            Kind::B(1, 2).to_value(),
+            Value::Map(vec![(
+                "B".into(),
+                Value::Seq(vec![Value::UInt(1), Value::UInt(2)])
+            )])
+        );
+        assert_eq!(
+            Kind::C { x: 9 }.to_value(),
+            Value::Map(vec![(
+                "C".into(),
+                Value::Map(vec![("x".into(), Value::UInt(9))])
+            )])
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for `serde_derive` (see `third_party/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` by walking the raw `TokenStream` —
+//! no `syn`/`quote`, which would themselves need network access to
+//! fetch. Supported item shapes (everything this workspace derives on):
+//!
+//! - structs with named fields → `Value::Map`
+//! - newtype structs → the inner value, transparent
+//! - multi-field tuple structs → `Value::Seq`
+//! - unit structs → `Value::Null`
+//! - enums: unit variants → `Value::Str(name)`; newtype variants →
+//!   `{"Name": value}`; tuple variants → `{"Name": [..]}`; struct
+//!   variants → `{"Name": {..}}` (serde's externally-tagged default)
+//!
+//! Generic items are rejected with a `compile_error!` rather than
+//! silently mis-serialized. `#[derive(Deserialize)]` expands to nothing:
+//! the workspace only ever derives it alongside `Serialize` and never
+//! deserializes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(src) => src.parse().expect("generated impl must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "offline serde derive does not support generic type `{name}`"
+        ));
+    }
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        return Err(format!(
+            "offline serde derive does not support `where` clauses on `{name}`"
+        ));
+    }
+
+    let body = match item_kind.as_str() {
+        "struct" => struct_body(&name, &tokens[i..])?,
+        "enum" => enum_body(&name, &tokens[i..])?,
+        other => return Err(format!("cannot derive Serialize for `{other}` items")),
+    };
+
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    ))
+}
+
+/// Advance past any `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field/variant list on top-level commas. Commas inside nested
+/// delimiter groups arrive as single `Group` tokens so only `<...>` type
+/// arguments need explicit depth tracking.
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// First identifier of a field chunk, past attributes and visibility.
+fn field_name(chunk: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    skip_attrs_and_vis(chunk, &mut i);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected field name, got {other:?}")),
+    }
+}
+
+fn struct_body(name: &str, rest: &[TokenTree]) -> Result<String, String> {
+    match rest.first() {
+        // Unit struct: `struct Foo;`
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok("::serde::Value::Null".into()),
+        None => Ok("::serde::Value::Null".into()),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = split_top_level(g.stream().into_iter().collect());
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|c| !c.is_empty())
+                .map(|c| {
+                    let f = field_name(c)?;
+                    Ok(format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
+                        f
+                    ))
+                })
+                .collect::<Result<_, String>>()?;
+            Ok(format!("::serde::Value::Map(vec![{}])", entries.join(", ")))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = split_top_level(g.stream().into_iter().collect())
+                .iter()
+                .filter(|c| !c.is_empty())
+                .count();
+            match n {
+                0 => Ok("::serde::Value::Seq(vec![])".into()),
+                // Newtype structs are transparent, as in real serde.
+                1 => Ok("::serde::Serialize::to_value(&self.0)".into()),
+                _ => {
+                    let items: Vec<String> = (0..n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    Ok(format!("::serde::Value::Seq(vec![{}])", items.join(", ")))
+                }
+            }
+        }
+        other => Err(format!("unsupported struct `{name}` body: {other:?}")),
+    }
+}
+
+fn enum_body(name: &str, rest: &[TokenTree]) -> Result<String, String> {
+    let group = match rest.first() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => return Err(format!("unsupported enum `{name}` body: {other:?}")),
+    };
+    let mut arms = Vec::new();
+    for chunk in split_top_level(group.stream().into_iter().collect()) {
+        if chunk.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let variant = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name in `{name}`, got {other:?}")),
+        };
+        i += 1;
+        let arm = match chunk.get(i) {
+            None => format!(
+                "{name}::{variant} => ::serde::Value::Str({variant:?}.to_string()),"
+            ),
+            // Discriminant (`Variant = 3`): still a unit variant to serde.
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => format!(
+                "{name}::{variant} => ::serde::Value::Str({variant:?}.to_string()),"
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = split_top_level(g.stream().into_iter().collect())
+                    .iter()
+                    .filter(|c| !c.is_empty())
+                    .count();
+                let binds: Vec<String> = (0..n).map(|k| format!("f{k}")).collect();
+                let payload = if n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{variant}({}) => ::serde::Value::Map(vec![({:?}.to_string(), {payload})]),",
+                    binds.join(", "),
+                    variant
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields: Vec<String> = split_top_level(g.stream().into_iter().collect())
+                    .iter()
+                    .filter(|c| !c.is_empty())
+                    .map(|c| field_name(c))
+                    .collect::<Result<_, String>>()?;
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("({:?}.to_string(), ::serde::Serialize::to_value({f}))", f))
+                    .collect();
+                format!(
+                    "{name}::{variant} {{ {} }} => ::serde::Value::Map(vec![({:?}.to_string(), ::serde::Value::Map(vec![{}]))]),",
+                    fields.join(", "),
+                    variant,
+                    entries.join(", ")
+                )
+            }
+            other => {
+                return Err(format!(
+                    "unsupported variant shape `{name}::{variant}`: {other:?}"
+                ))
+            }
+        };
+        arms.push(arm);
+    }
+    Ok(format!("match self {{\n            {}\n        }}", arms.join("\n            ")))
+}

@@ -1,0 +1,181 @@
+//! Offline stand-in for `serde_json` (see `third_party/README.md`).
+//!
+//! Pretty-prints the [`serde::Value`] data model with the real
+//! serde_json's conventions: 2-space indent, `", "`-free compact
+//! brackets for empty containers, `\uXXXX` escapes for control
+//! characters, and non-finite floats rendered as `null`.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The stand-in serializer is infallible, so this
+/// exists only to keep `Result`-shaped call sites compiling.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value).map(|s| {
+        // Compact form is only used in tests/debugging; derive it by
+        // re-walking, not string surgery.
+        let mut out = String::new();
+        write_compact(&mut out, &value.to_value());
+        let _ = s;
+        out
+    })
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                push_indent(out, indent + 1);
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+        other => write_value(out, other, 0),
+    }
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` keeps the trailing `.0` on integral floats, matching
+        // serde_json's ryu output for the values this repo emits.
+        out.push_str(&format!("{f:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("a\"b".into())),
+            ("xs".into(), Value::Seq(vec![Value::UInt(1), Value::UInt(2)])),
+            ("empty".into(), Value::Seq(vec![])),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"a\\\"b\",\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_decimal_point_and_nan_is_null() {
+        assert_eq!(to_string_pretty(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string_pretty(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn compact_matches_structure() {
+        let v = vec![(1u32, "x".to_string())];
+        assert_eq!(to_string(&v).unwrap(), "[[1,\"x\"]]");
+    }
+}
