@@ -27,14 +27,17 @@ pub mod connected_components;
 pub mod kcore;
 pub mod pagerank;
 pub mod reference;
+pub mod registry;
 pub mod sssp;
-pub mod standard;
 pub mod triangle_count;
 
 pub use coloring::Coloring;
 pub use connected_components::ConnectedComponents;
 pub use kcore::KCore;
 pub use pagerank::PageRank;
+pub use registry::{
+    full_apps, standard_apps, AnyApp, AppRegistry, AppSpec, KCORE_DEFAULT_K, PAGERANK_ITERATIONS,
+    SSSP_DEFAULT_SOURCE,
+};
 pub use sssp::Sssp;
-pub use standard::{standard_apps, StandardApp};
 pub use triangle_count::TriangleCount;

@@ -1,0 +1,505 @@
+//! The app registry: every workload as one uniform, extensible value type.
+//!
+//! `GasProgram` has associated types, so heterogeneous collections of
+//! programs need a dispatch layer. [`AnyApp`] is that layer: an
+//! object-safe, type-erased handle over a vertex program (via the
+//! [`AppSpec`] trait) with a stable name key for the CCR pool. The
+//! profiler, the evaluation harness, the CLI, and `Framework` all iterate
+//! [`AnyApp`] collections and call [`AnyApp::run`], which executes the
+//! right vertex program on the one superstep kernel and returns the
+//! simulated report.
+//!
+//! **Registering a new app is a one-place change**: implement
+//! [`GasProgram`] for your vertex program, add an [`AppSpec`] (usually a
+//! few lines — see `SsspSpec` in this file) and a constructor on
+//! [`AnyApp`], and list it in [`AppRegistry::full`]. Every consumer —
+//! `CcrPool::profile*`, the sweep matrix's `--apps` selector, `hetgraph
+//! run`/`submit`, and `Framework` — picks it up from there; no enum to
+//! extend, no per-crate match arms.
+
+use std::sync::Arc;
+
+use hetgraph_cluster::AppProfile;
+use hetgraph_core::{Graph, VertexId};
+use hetgraph_engine::{DistributedGraph, GasProgram, SimEngine, SimReport};
+use hetgraph_partition::PartitionAssignment;
+
+use crate::coloring::Coloring;
+use crate::connected_components::ConnectedComponents;
+use crate::kcore::KCore;
+use crate::pagerank::PageRank;
+use crate::sssp::Sssp;
+use crate::triangle_count::TriangleCount;
+
+/// Default PageRank iteration count for evaluation runs (the paper runs
+/// PageRank for a fixed number of sweeps).
+pub const PAGERANK_ITERATIONS: usize = 10;
+
+/// Default SSSP source vertex for evaluation runs.
+pub const SSSP_DEFAULT_SOURCE: VertexId = 0;
+
+/// Default k for k-core evaluation runs.
+pub const KCORE_DEFAULT_K: u32 = 3;
+
+/// One registered workload: what the registry needs to profile and run it.
+///
+/// Object-safe on purpose — `AnyApp` stores `Arc<dyn AppSpec>`, so a spec
+/// must type-erase its program's associated types behind
+/// [`AppSpec::run_on_with_threads`]. Programs that depend on the input
+/// graph (Triangle Count pre-sorts adjacency) construct themselves inside
+/// that call.
+pub trait AppSpec: Send + Sync {
+    /// Application name. Keys the CCR pool and the `--apps`/CLI selectors,
+    /// so it must be stable and unique within a registry.
+    fn name(&self) -> &'static str;
+
+    /// The application's ground-truth hardware profile.
+    fn profile(&self) -> AppProfile;
+
+    /// Execute on a prebuilt [`DistributedGraph`] with the given host
+    /// thread budget and return the simulated report.
+    fn run_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &DistributedGraph<'_>,
+        host_threads: usize,
+    ) -> SimReport;
+}
+
+/// Run a concrete program on the unified kernel — the one line every
+/// [`AppSpec`] implementation ends with.
+fn exec<P: GasProgram>(
+    engine: &SimEngine<'_>,
+    dist: &DistributedGraph<'_>,
+    program: &P,
+    host_threads: usize,
+) -> SimReport {
+    engine
+        .run_on_with_threads(dist, program, host_threads)
+        .report
+}
+
+/// A cheaply-cloneable, type-erased handle to a registered workload.
+///
+/// Equality, hashing, ordering, and `Display` all go through
+/// [`AnyApp::name`], matching how the CCR pool and the scheduling policies
+/// key applications.
+#[derive(Clone)]
+pub struct AnyApp(Arc<dyn AppSpec>);
+
+impl AnyApp {
+    /// Wrap a spec.
+    pub fn new(spec: impl AppSpec + 'static) -> Self {
+        AnyApp(Arc::new(spec))
+    }
+
+    /// PageRank (Eq. 8) at the standard [`PAGERANK_ITERATIONS`].
+    pub fn pagerank() -> Self {
+        AnyApp::new(PageRankSpec)
+    }
+
+    /// Greedy coloring.
+    pub fn coloring() -> Self {
+        AnyApp::new(ColoringSpec)
+    }
+
+    /// Weakly-connected components.
+    pub fn connected_components() -> Self {
+        AnyApp::new(ConnectedComponentsSpec)
+    }
+
+    /// Triangle counting.
+    pub fn triangle_count() -> Self {
+        AnyApp::new(TriangleCountSpec)
+    }
+
+    /// Single-source shortest paths from `source`.
+    pub fn sssp(source: VertexId) -> Self {
+        AnyApp::new(SsspSpec { source })
+    }
+
+    /// k-core decomposition at threshold `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn kcore(k: u32) -> Self {
+        assert!(k > 0, "k-core requires k >= 1");
+        AnyApp::new(KCoreSpec { k })
+    }
+
+    /// Application name (keys the CCR pool).
+    pub fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    /// The application's ground-truth hardware profile.
+    pub fn profile(&self) -> AppProfile {
+        self.0.profile()
+    }
+
+    /// Execute on a partitioned graph and return the simulated report.
+    pub fn run(
+        &self,
+        engine: &SimEngine<'_>,
+        graph: &Graph,
+        assignment: &PartitionAssignment,
+    ) -> SimReport {
+        self.run_with_threads(engine, graph, assignment, 1)
+    }
+
+    /// [`AnyApp::run`] with an engine-level host thread budget. The
+    /// kernel's results — vertex effects *and* the floating-point report —
+    /// are bitwise identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn run_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        graph: &Graph,
+        assignment: &PartitionAssignment,
+        host_threads: usize,
+    ) -> SimReport {
+        let dist = DistributedGraph::new(graph, assignment);
+        self.run_on_with_threads(engine, &dist, host_threads)
+    }
+
+    /// [`AnyApp::run_with_threads`] over a prebuilt [`DistributedGraph`],
+    /// so sweeps that execute several apps against one cached partition
+    /// build the O(edges) distributed view once.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn run_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &DistributedGraph<'_>,
+        host_threads: usize,
+    ) -> SimReport {
+        assert!(host_threads > 0, "need at least one host thread");
+        self.0.run_on_with_threads(engine, dist, host_threads)
+    }
+}
+
+impl PartialEq for AnyApp {
+    fn eq(&self, other: &Self) -> bool {
+        self.name() == other.name()
+    }
+}
+impl Eq for AnyApp {}
+
+impl std::hash::Hash for AnyApp {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name().hash(state);
+    }
+}
+
+impl std::fmt::Debug for AnyApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AnyApp").field(&self.name()).finish()
+    }
+}
+
+impl std::fmt::Display for AnyApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+struct PageRankSpec;
+impl AppSpec for PageRankSpec {
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+    fn profile(&self) -> AppProfile {
+        PageRank::standard_profile()
+    }
+    fn run_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &DistributedGraph<'_>,
+        host_threads: usize,
+    ) -> SimReport {
+        exec(
+            engine,
+            dist,
+            &PageRank::new(PAGERANK_ITERATIONS),
+            host_threads,
+        )
+    }
+}
+
+struct ColoringSpec;
+impl AppSpec for ColoringSpec {
+    fn name(&self) -> &'static str {
+        "coloring"
+    }
+    fn profile(&self) -> AppProfile {
+        Coloring::standard_profile()
+    }
+    fn run_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &DistributedGraph<'_>,
+        host_threads: usize,
+    ) -> SimReport {
+        exec(engine, dist, &Coloring::new(), host_threads)
+    }
+}
+
+struct ConnectedComponentsSpec;
+impl AppSpec for ConnectedComponentsSpec {
+    fn name(&self) -> &'static str {
+        "connected_components"
+    }
+    fn profile(&self) -> AppProfile {
+        ConnectedComponents::standard_profile()
+    }
+    fn run_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &DistributedGraph<'_>,
+        host_threads: usize,
+    ) -> SimReport {
+        exec(engine, dist, &ConnectedComponents::new(), host_threads)
+    }
+}
+
+struct TriangleCountSpec;
+impl AppSpec for TriangleCountSpec {
+    fn name(&self) -> &'static str {
+        "triangle_count"
+    }
+    fn profile(&self) -> AppProfile {
+        TriangleCount::standard_profile()
+    }
+    fn run_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &DistributedGraph<'_>,
+        host_threads: usize,
+    ) -> SimReport {
+        exec(
+            engine,
+            dist,
+            &TriangleCount::for_graph(dist.graph()),
+            host_threads,
+        )
+    }
+}
+
+struct SsspSpec {
+    source: VertexId,
+}
+impl AppSpec for SsspSpec {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+    fn profile(&self) -> AppProfile {
+        Sssp::standard_profile()
+    }
+    fn run_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &DistributedGraph<'_>,
+        host_threads: usize,
+    ) -> SimReport {
+        exec(engine, dist, &Sssp::new(self.source), host_threads)
+    }
+}
+
+struct KCoreSpec {
+    k: u32,
+}
+impl AppSpec for KCoreSpec {
+    fn name(&self) -> &'static str {
+        "kcore"
+    }
+    fn profile(&self) -> AppProfile {
+        KCore::standard_profile()
+    }
+    fn run_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &DistributedGraph<'_>,
+        host_threads: usize,
+    ) -> SimReport {
+        exec(engine, dist, &KCore::new(self.k), host_threads)
+    }
+}
+
+/// An ordered, name-keyed collection of workloads.
+pub struct AppRegistry {
+    apps: Vec<AnyApp>,
+}
+
+impl AppRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        AppRegistry { apps: Vec::new() }
+    }
+
+    /// The paper's four MLDM applications (Section IV), in the paper's
+    /// order — the default app set for figure reproduction.
+    pub fn standard() -> Self {
+        let mut r = AppRegistry::new();
+        r.register(AnyApp::pagerank());
+        r.register(AnyApp::coloring());
+        r.register(AnyApp::connected_components());
+        r.register(AnyApp::triangle_count());
+        r
+    }
+
+    /// All six workloads: the paper's four plus the SSSP (source
+    /// [`SSSP_DEFAULT_SOURCE`]) and k-core ([`KCORE_DEFAULT_K`])
+    /// extensions.
+    pub fn full() -> Self {
+        let mut r = AppRegistry::standard();
+        r.register(AnyApp::sssp(SSSP_DEFAULT_SOURCE));
+        r.register(AnyApp::kcore(KCORE_DEFAULT_K));
+        r
+    }
+
+    /// Add a workload; a same-named entry is replaced in place (so
+    /// `register(AnyApp::sssp(42))` re-parameterizes the default).
+    pub fn register(&mut self, app: AnyApp) {
+        match self.apps.iter_mut().find(|a| a.name() == app.name()) {
+            Some(slot) => *slot = app,
+            None => self.apps.push(app),
+        }
+    }
+
+    /// Look up a workload by its stable name.
+    pub fn get(&self, name: &str) -> Option<&AnyApp> {
+        self.apps.iter().find(|a| a.name() == name)
+    }
+
+    /// The registered workloads, in registration order.
+    pub fn apps(&self) -> &[AnyApp] {
+        &self.apps
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.apps.iter().map(|a| a.name()).collect()
+    }
+}
+
+impl Default for AppRegistry {
+    fn default() -> Self {
+        AppRegistry::standard()
+    }
+}
+
+/// The paper's application set ([`AppRegistry::standard`], as a `Vec`).
+pub fn standard_apps() -> Vec<AnyApp> {
+    AppRegistry::standard().apps.clone()
+}
+
+/// All six workloads ([`AppRegistry::full`], as a `Vec`).
+pub fn full_apps() -> Vec<AnyApp> {
+    AppRegistry::full().apps.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph_cluster::Cluster;
+    use hetgraph_gen::PowerLawConfig;
+    use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
+
+    #[test]
+    fn names_and_profiles_consistent() {
+        for app in full_apps() {
+            assert_eq!(app.name(), app.profile().name);
+            app.profile().assert_valid();
+        }
+    }
+
+    #[test]
+    fn registry_sets_have_expected_names() {
+        assert_eq!(
+            AppRegistry::standard().names(),
+            [
+                "pagerank",
+                "coloring",
+                "connected_components",
+                "triangle_count"
+            ]
+        );
+        assert_eq!(
+            AppRegistry::full().names(),
+            [
+                "pagerank",
+                "coloring",
+                "connected_components",
+                "triangle_count",
+                "sssp",
+                "kcore"
+            ]
+        );
+    }
+
+    #[test]
+    fn register_replaces_same_name_in_place() {
+        let mut r = AppRegistry::full();
+        let before = r.names();
+        r.register(AnyApp::sssp(7));
+        assert_eq!(r.names(), before, "re-registration keeps order");
+        assert!(r.get("sssp").is_some());
+        assert!(r.get("no_such_app").is_none());
+    }
+
+    #[test]
+    fn all_six_run_on_a_power_law_graph() {
+        let g = PowerLawConfig::new(800, 2.1).generate(3);
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let engine = SimEngine::new(&cluster);
+        for app in full_apps() {
+            let rep = app.run(&engine, &g, &a);
+            assert!(rep.makespan_s > 0.0, "{app}: no time simulated");
+            assert!(rep.supersteps > 0, "{app}: no supersteps");
+            assert_eq!(rep.app, app.name());
+        }
+    }
+
+    #[test]
+    fn profiles_are_microarchitecturally_diverse() {
+        // The Fig 2 premise: the four apps must not share one profile.
+        let ratios: Vec<f64> = standard_apps()
+            .iter()
+            .map(|a| {
+                let p = a.profile();
+                p.edge_flops / p.edge_bytes
+            })
+            .collect();
+        // PageRank is the most memory-bound; TriangleCount the least.
+        assert!(ratios[0] < ratios[1]);
+        assert!(ratios[0] < ratios[2]);
+        assert!(ratios[3] > ratios[1]);
+    }
+
+    #[test]
+    fn display_and_equality_key_on_name() {
+        assert_eq!(AnyApp::pagerank().to_string(), "pagerank");
+        assert_eq!(AnyApp::sssp(0), AnyApp::sssp(99), "equality is by name");
+        assert_ne!(AnyApp::sssp(0), AnyApp::kcore(3));
+        assert_eq!(format!("{:?}", AnyApp::kcore(3)), "AnyApp(\"kcore\")");
+    }
+
+    #[test]
+    fn threaded_dispatch_matches_serial_run_exactly() {
+        let g = PowerLawConfig::new(800, 2.1).generate(3);
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let engine = SimEngine::new(&cluster);
+        for app in full_apps() {
+            let serial = app.run(&engine, &g, &a);
+            for threads in [1, 2, 4] {
+                let par = app.run_with_threads(&engine, &g, &a, threads);
+                assert_eq!(par, serial, "{app}/{threads}");
+            }
+        }
+    }
+}

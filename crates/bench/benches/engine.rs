@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use hetgraph_apps::{ConnectedComponents, PageRank, StandardApp, TriangleCount};
+use hetgraph_apps::{AnyApp, ConnectedComponents, PageRank, TriangleCount};
 use hetgraph_cluster::Cluster;
 use hetgraph_engine::{DistributedGraph, SimEngine};
 use hetgraph_gen::{ProxySet, RmatConfig};
@@ -48,15 +48,10 @@ fn bench_engine(c: &mut Criterion) {
         let tc = TriangleCount::for_graph(&graph);
         b.iter(|| black_box(engine.run(&graph, &assignment, &tc).data[0]));
     });
-    group.bench_function("standard_app_dispatch", |b| {
+    group.bench_function("registry_dispatch", |b| {
         let engine = SimEngine::new(&cluster);
-        b.iter(|| {
-            black_box(
-                StandardApp::Coloring
-                    .run(&engine, &graph, &assignment)
-                    .makespan_s,
-            )
-        });
+        let coloring = AnyApp::coloring();
+        b.iter(|| black_box(coloring.run(&engine, &graph, &assignment).makespan_s));
     });
     group.finish();
 }
@@ -82,13 +77,8 @@ fn bench_engine_threads(c: &mut Criterion) {
             BenchmarkId::new("pagerank_scale64_proxy", threads),
             &threads,
             |b, &t| {
-                b.iter(|| {
-                    black_box(
-                        StandardApp::PageRank
-                            .run_on_with_threads(&engine, &dist, t)
-                            .makespan_s,
-                    )
-                })
+                let pagerank = AnyApp::pagerank();
+                b.iter(|| black_box(pagerank.run_on_with_threads(&engine, &dist, t).makespan_s))
             },
         );
     }

@@ -12,7 +12,7 @@
 //!   comparison the paper builds on).
 //! * [`hybrid_threshold`] — Hybrid's high-degree threshold sweep.
 
-use hetgraph_apps::{standard_apps, StandardApp};
+use hetgraph_apps::{standard_apps, AnyApp};
 use hetgraph_cluster::{catalog, Cluster};
 use hetgraph_core::stats;
 use hetgraph_gen::{ProxyGraph, ProxySet};
@@ -221,7 +221,7 @@ pub fn feedback_convergence(ctx: &ExperimentContext) -> Vec<(String, String, Opt
     let graph = hetgraph_gen::NaturalGraph::Citation.generate(ctx.scale);
     let balancer = FeedbackBalancer::default();
     let mut rows = Vec::new();
-    for app in [StandardApp::PageRank, StandardApp::ConnectedComponents] {
+    for app in [AnyApp::pagerank(), AnyApp::connected_components()] {
         let starts: Vec<(String, MachineWeights)> = vec![
             ("default".into(), MachineWeights::uniform(cluster.len())),
             (
@@ -234,7 +234,7 @@ pub fn feedback_convergence(ctx: &ExperimentContext) -> Vec<(String, String, Opt
             ),
         ];
         for (name, w) in starts {
-            let history = balancer.run(&cluster, &graph, app, &RandomHash::new(), w);
+            let history = balancer.run(&cluster, &graph, &app, &RandomHash::new(), w);
             let epochs = FeedbackBalancer::epochs_to_balance(&history, 1.25);
             let final_mk = history.last().expect("non-empty").makespan_s;
             rows.push((app.name().to_string(), name, epochs, final_mk));
@@ -277,11 +277,12 @@ pub fn frequency_sweep(ctx: &ExperimentContext) -> Vec<(f64, f64, f64)> {
     for freq in [2.5f64, 2.1, 1.8, 1.5, 1.2] {
         let tiny = catalog::tiny_arm().at_frequency(freq, format!("tiny_{freq}"));
         let cluster = Cluster::new(vec![tiny, catalog::xeon_l()]);
-        let pool = CcrPool::profile(&cluster, &ctx.proxies(), &[StandardApp::PageRank]);
+        let pool = CcrPool::profile(&cluster, &ctx.proxies(), &[AnyApp::pagerank()]);
         let engine = hetgraph_engine::SimEngine::new(&cluster);
+        let pagerank = AnyApp::pagerank();
         let mk = |w: &MachineWeights| {
             let a = RandomHash::new().partition(&graph, w);
-            StandardApp::PageRank.run(&engine, &graph, &a).makespan_s
+            pagerank.run(&engine, &graph, &a).makespan_s
         };
         let t_default = mk(&MachineWeights::uniform(2));
         let t_prior = mk(&MachineWeights::from_thread_counts(&cluster));

@@ -1,6 +1,6 @@
 //! Fig 2 (motivation) and Fig 8 (CCR accuracy).
 
-use hetgraph_apps::{standard_apps, StandardApp};
+use hetgraph_apps::{standard_apps, AnyApp};
 use hetgraph_cluster::{catalog, MachineSpec};
 use hetgraph_core::Graph;
 use hetgraph_profile::runner::profiling_set_time;
@@ -48,9 +48,9 @@ pub fn fig2(ctx: &ExperimentContext) -> Vec<Fig2Point> {
         });
     }
     for app in standard_apps() {
-        let t_base = profiling_set_time(&machines[0], app, std::slice::from_ref(&graph));
+        let t_base = profiling_set_time(&machines[0], &app, std::slice::from_ref(&graph));
         for m in &machines {
-            let t = profiling_set_time(m, app, std::slice::from_ref(&graph));
+            let t = profiling_set_time(m, &app, std::slice::from_ref(&graph));
             points.push(Fig2Point {
                 series: app.name().to_string(),
                 machine: m.name.clone(),
@@ -182,7 +182,7 @@ pub fn fig8(ctx: &ExperimentContext, part: &str) -> Fig8Result {
 /// ablations and docs examples.
 pub fn profile_times_on(
     machines: &[MachineSpec],
-    app: StandardApp,
+    app: &AnyApp,
     graph: &Graph,
 ) -> Vec<(String, f64)> {
     machines

@@ -1,6 +1,6 @@
 //! The end-to-end case studies: Fig 9 (Case 1) and Fig 10 (Cases 2–3).
 
-use hetgraph_apps::{standard_apps, StandardApp};
+use hetgraph_apps::AnyApp;
 use hetgraph_cluster::Cluster;
 use hetgraph_core::stats;
 use hetgraph_core::Graph;
@@ -33,9 +33,10 @@ pub struct CaseRow {
     pub replication_factor: f64,
 }
 
-/// Profile the cluster once (offline, as in Fig 7a) for this context.
+/// Profile the cluster once (offline, as in Fig 7a) for this context's
+/// selected workloads.
 pub fn profile_pool(cluster: &Cluster, ctx: &ExperimentContext) -> CcrPool {
-    CcrPool::profile_with_threads(cluster, &ctx.proxies(), &standard_apps(), ctx.threads)
+    CcrPool::profile_with_threads(cluster, &ctx.proxies(), ctx.apps(), ctx.threads)
 }
 
 /// Execution accounting for one [`run_matrix`] call: how much work the
@@ -65,10 +66,19 @@ pub fn run_matrix(
     graphs: &[(String, Graph)],
     partitioners: &[PartitionerKind],
     policies: &[Policy],
-    apps: &[StandardApp],
+    apps: &[AnyApp],
     host_threads: usize,
 ) -> Vec<CaseRow> {
-    run_matrix_counted(cluster, pool, graphs, partitioners, policies, apps, host_threads).0
+    run_matrix_counted(
+        cluster,
+        pool,
+        graphs,
+        partitioners,
+        policies,
+        apps,
+        host_threads,
+    )
+    .0
 }
 
 /// [`run_matrix`] also returning its [`MatrixStats`] (used by the
@@ -82,7 +92,7 @@ pub fn run_matrix_counted(
     graphs: &[(String, Graph)],
     partitioners: &[PartitionerKind],
     policies: &[Policy],
-    apps: &[StandardApp],
+    apps: &[AnyApp],
     host_threads: usize,
 ) -> (Vec<CaseRow>, MatrixStats) {
     assert!(host_threads > 0, "need at least one host thread");
@@ -95,20 +105,18 @@ pub fn run_matrix_counted(
     // `prior_work` weights are app-independent and partition once each.
     let mut jobs: Vec<(usize, PartitionerKind, MachineWeights)> = Vec::new();
     let mut job_index: BTreeMap<(usize, &'static str, Vec<u64>), usize> = BTreeMap::new();
-    let mut cells: Vec<(usize, PartitionerKind, StandardApp, Policy, usize)> = Vec::new();
+    let mut cells: Vec<(usize, PartitionerKind, AnyApp, Policy, usize)> = Vec::new();
     for gi in 0..graphs.len() {
         for &kind in partitioners {
-            for &app in apps {
+            for app in apps {
                 for &policy in policies {
                     let weights = policy.weights(cluster, pool, app.name());
                     let bits: Vec<u64> = weights.as_slice().iter().map(|w| w.to_bits()).collect();
-                    let job = *job_index
-                        .entry((gi, kind.name(), bits))
-                        .or_insert_with(|| {
-                            jobs.push((gi, kind, weights));
-                            jobs.len() - 1
-                        });
-                    cells.push((gi, kind, app, policy, job));
+                    let job = *job_index.entry((gi, kind.name(), bits)).or_insert_with(|| {
+                        jobs.push((gi, kind, weights));
+                        jobs.len() - 1
+                    });
+                    cells.push((gi, kind, app.clone(), policy, job));
                 }
             }
         }
@@ -140,21 +148,21 @@ pub fn run_matrix_counted(
     // Phase 4 (parallel): simulate every cell; `scheduled` returns the
     // reports in cell order, so assembly below is order-stable.
     let reports = hetgraph_core::par::scheduled(cells.len(), sweep_threads, |k| {
-        let (_, _, app, _, job) = cells[k];
+        let (_, _, ref app, _, job) = cells[k];
         app.run_on_with_threads(&engine, &dists[job], engine_threads)
     });
 
     let rows = cells
         .iter()
         .zip(reports)
-        .map(|(&(gi, kind, app, policy, job), report)| CaseRow {
+        .map(|((gi, kind, app, policy, job), report)| CaseRow {
             app: app.name().to_string(),
-            graph: graphs[gi].0.clone(),
+            graph: graphs[*gi].0.clone(),
             partitioner: kind.name().to_string(),
             policy: policy.name().to_string(),
             makespan_s: report.makespan_s,
             energy_j: report.total_energy_j(),
-            replication_factor: parts[job].1.replication_factor,
+            replication_factor: parts[*job].1.replication_factor,
         })
         .collect();
     let stats = MatrixStats {
@@ -221,11 +229,11 @@ pub fn fig9(ctx: &ExperimentContext) -> Vec<CaseRow> {
         &graphs,
         &PartitionerKind::ALL,
         &[Policy::Default, Policy::CcrGuided],
-        &standard_apps(),
+        ctx.apps(),
         ctx.threads,
     );
 
-    for app in standard_apps() {
+    for app in ctx.apps() {
         println!("-- {} --", app.name());
         let mut table = Vec::new();
         for (gname, _) in &graphs {
@@ -301,12 +309,12 @@ pub fn fig10(ctx: &ExperimentContext, case: u32) -> Vec<CaseRow> {
         &graphs,
         &PartitionerKind::ALL,
         &Policy::ALL,
-        &standard_apps(),
+        ctx.apps(),
         ctx.threads,
     );
 
     let mut table = Vec::new();
-    for app in standard_apps() {
+    for app in ctx.apps() {
         let app_rows: Vec<CaseRow> = rows
             .iter()
             .filter(|r| r.app == app.name())
@@ -411,7 +419,7 @@ mod tests {
             &graphs,
             &TEST_PARTITIONERS,
             &Policy::ALL,
-            &standard_apps(),
+            ctx.apps(),
             ctx.threads,
         );
         let prior = stats::geomean(&speedups_over(&rows, Policy::Default, Policy::PriorWork));
@@ -438,7 +446,7 @@ mod tests {
             &graphs,
             &TEST_PARTITIONERS,
             &Policy::ALL,
-            &standard_apps(),
+            ctx.apps(),
             ctx.threads,
         );
         let prior = stats::mean(&energy_savings_over(
@@ -473,7 +481,7 @@ mod tests {
             &graphs,
             &[PartitionerKind::RandomHash],
             &[Policy::Default, Policy::CcrGuided],
-            &[StandardApp::PageRank],
+            &[AnyApp::pagerank()],
             ctx.threads,
         );
         assert_eq!(rows.len(), 2);

@@ -2,6 +2,7 @@
 
 use std::path::PathBuf;
 
+use hetgraph_apps::{AnyApp, AppRegistry};
 use hetgraph_core::Graph;
 use hetgraph_gen::{NaturalGraph, ProxySet};
 
@@ -17,6 +18,11 @@ pub struct ExperimentContext {
     /// parallelism (see DESIGN.md "Threading model"). Defaults to
     /// `HETGRAPH_THREADS` or, failing that, every available core.
     pub threads: usize,
+    /// Workloads to sweep. Defaults to the paper's four
+    /// ([`hetgraph_apps::standard_apps`]) so figure output is unchanged;
+    /// `--apps` selects any subset of the full registry (`--apps all`
+    /// runs all six).
+    pub apps: Vec<AnyApp>,
 }
 
 impl Default for ExperimentContext {
@@ -25,6 +31,7 @@ impl Default for ExperimentContext {
             scale: 64,
             out_dir: None,
             threads: hetgraph_core::par::default_host_threads(),
+            apps: hetgraph_apps::standard_apps(),
         }
     }
 }
@@ -49,8 +56,9 @@ impl ExperimentContext {
         self
     }
 
-    /// Parse the shared flags (`--scale N`, `--out DIR`, `--threads N`)
-    /// from the process arguments. Any other flag is a usage error.
+    /// Parse the shared flags (`--scale N`, `--out DIR`, `--threads N`,
+    /// `--apps LIST`) from the process arguments. Any other flag is a
+    /// usage error.
     pub fn from_args() -> Self {
         Self::from_args_with(&[]).0
     }
@@ -103,6 +111,10 @@ impl ExperimentContext {
                         return Err("--threads must be positive".into());
                     }
                 }
+                "--apps" => {
+                    let v = it.next().ok_or("--apps needs a value")?;
+                    ctx.apps = Self::parse_apps(&v)?;
+                }
                 other if extra.contains(&other) => {
                     let v = it.next().ok_or_else(|| format!("{other} needs a value"))?;
                     rest.push(other.to_string());
@@ -125,12 +137,49 @@ impl ExperimentContext {
             "valid options:\n  \
              --scale N     graph downscale factor (default 64)\n  \
              --out DIR     write machine-readable JSON results to DIR\n  \
-             --threads N   host thread budget (default: HETGRAPH_THREADS or all cores)",
+             --threads N   host thread budget (default: HETGRAPH_THREADS or all cores)\n  \
+             --apps LIST   comma-separated workloads, or \"all\" (default: the paper's\n                \
+             four; registry: pagerank,coloring,connected_components,\n                \
+             triangle_count,sssp,kcore)",
         );
         for e in extra {
             s.push_str(&format!("\n  {e} VALUE"));
         }
         s
+    }
+
+    /// Resolve a `--apps` value against the full registry.
+    ///
+    /// `"all"` selects every registered workload; otherwise the value is a
+    /// comma-separated list of registry names, resolved in the order
+    /// given.
+    pub fn parse_apps(list: &str) -> Result<Vec<AnyApp>, String> {
+        let registry = AppRegistry::full();
+        if list == "all" {
+            return Ok(registry.apps().to_vec());
+        }
+        let mut apps = Vec::new();
+        for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            let app = registry.get(name).ok_or_else(|| {
+                format!(
+                    "unknown app {name:?}; registry has: {}",
+                    registry.names().join(", ")
+                )
+            })?;
+            if !apps.contains(app) {
+                apps.push(app.clone());
+            }
+        }
+        if apps.is_empty() {
+            return Err("--apps needs at least one workload".into());
+        }
+        Ok(apps)
+    }
+
+    /// The workloads this run sweeps (the `--apps` selection, defaulting
+    /// to the paper's four).
+    pub fn apps(&self) -> &[AnyApp] {
+        &self.apps
     }
 
     /// The four natural-graph stand-ins at this context's scale, in Table
@@ -245,9 +294,52 @@ mod tests {
     }
 
     #[test]
+    fn default_apps_are_the_papers_four() {
+        let names: Vec<_> = ExperimentContext::default()
+            .apps()
+            .iter()
+            .map(|a| a.name())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "pagerank",
+                "coloring",
+                "connected_components",
+                "triangle_count"
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_args_accepts_apps_selector() {
+        let (ctx, _) = ExperimentContext::parse_args(argv(&["--apps", "sssp,kcore"]), &[]).unwrap();
+        let names: Vec<_> = ctx.apps().iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["sssp", "kcore"]);
+        let (all, _) = ExperimentContext::parse_args(argv(&["--apps", "all"]), &[]).unwrap();
+        assert_eq!(all.apps().len(), 6);
+    }
+
+    #[test]
+    fn parse_apps_rejects_unknown_and_empty() {
+        let err = ExperimentContext::parse_apps("pagerank,frobnicate").unwrap_err();
+        assert!(
+            err.contains("frobnicate") && err.contains("kcore"),
+            "err: {err}"
+        );
+        assert!(ExperimentContext::parse_apps("").is_err());
+        // Duplicates collapse.
+        assert_eq!(
+            ExperimentContext::parse_apps("sssp, sssp").unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
     fn usage_lists_extra_flags() {
         let u = ExperimentContext::usage(&["--study"]);
         assert!(u.contains("--threads"));
+        assert!(u.contains("--apps"));
         assert!(u.contains("--study"));
     }
 }

@@ -1,6 +1,5 @@
 //! Fig 11: the cost/performance Pareto study.
 
-use hetgraph_apps::standard_apps;
 use hetgraph_cluster::catalog;
 use hetgraph_cost::CostStudy;
 
@@ -23,7 +22,7 @@ pub fn fig11(ctx: &ExperimentContext) -> CostStudy {
         catalog::c4_4xlarge(),
         catalog::c4_8xlarge(),
     ];
-    let study = CostStudy::from_profiling(&baseline, &machines, &standard_apps(), &ctx.proxies());
+    let study = CostStudy::from_profiling(&baseline, &machines, ctx.apps(), &ctx.proxies());
 
     let mut table = Vec::new();
     for p in &study.points {
@@ -40,7 +39,7 @@ pub fn fig11(ctx: &ExperimentContext) -> CostStudy {
     );
 
     println!();
-    for app in standard_apps() {
+    for app in ctx.apps() {
         let frontier: Vec<&str> = study
             .pareto_for_app(app.name())
             .iter()

@@ -5,7 +5,6 @@
 //! improvement and 14.6% energy reduction as compared to prior
 //! heterogeneity-aware work."
 
-use hetgraph_apps::standard_apps;
 use hetgraph_cluster::Cluster;
 use hetgraph_core::stats;
 use hetgraph_partition::PartitionerKind;
@@ -47,7 +46,7 @@ pub fn headline(ctx: &ExperimentContext) -> Headline {
             &graphs,
             &PartitionerKind::ALL,
             &Policy::ALL,
-            &standard_apps(),
+            ctx.apps(),
             ctx.threads,
         );
         // Tag by cluster to keep (app, graph, partitioner) keys unique

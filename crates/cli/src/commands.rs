@@ -2,7 +2,8 @@
 
 use std::path::Path;
 
-use hetgraph_apps::{standard_apps, StandardApp};
+use hetgraph::{BalancePolicy, Framework};
+use hetgraph_apps::{AnyApp, AppRegistry};
 use hetgraph_cluster::Cluster;
 use hetgraph_core::degree::DegreeHistogram;
 use hetgraph_core::{io, Graph};
@@ -67,16 +68,33 @@ fn parse_cluster(name: &str) -> Result<Cluster, CliError> {
     }
 }
 
-/// Resolve `--app`.
-fn parse_app(name: &str) -> Result<StandardApp, CliError> {
-    standard_apps()
-        .into_iter()
-        .find(|a| a.name() == name)
-        .ok_or_else(|| {
-            CliError(format!(
-                "unknown app {name:?}; expected one of: pagerank, coloring, connected_components, triangle_count"
-            ))
-        })
+/// Resolve `--app` against the full app registry.
+fn parse_app(name: &str) -> Result<AnyApp, CliError> {
+    let registry = AppRegistry::full();
+    registry.get(name).cloned().ok_or_else(|| {
+        CliError(format!(
+            "unknown app {name:?}; expected one of: {}",
+            registry.names().join(", ")
+        ))
+    })
+}
+
+/// Resolve `--apps` (comma list or "all") against the full registry.
+fn parse_apps(list: &str) -> Result<Vec<AnyApp>, CliError> {
+    if list == "all" {
+        return Ok(AppRegistry::full().apps().to_vec());
+    }
+    let mut apps = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        let app = parse_app(name)?;
+        if !apps.contains(&app) {
+            apps.push(app);
+        }
+    }
+    if apps.is_empty() {
+        return Err(CliError("--apps needs at least one workload".into()));
+    }
+    Ok(apps)
 }
 
 /// Resolve `--algorithm`.
@@ -266,21 +284,21 @@ pub fn partition(args: &[String]) -> Result<(), CliError> {
 
 /// `hetgraph profile` — profile a cluster with synthetic proxies.
 pub fn profile(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["cluster", "scale", "threads"])?;
+    let flags = Flags::parse(args, &["cluster", "scale", "threads", "apps"])?;
     let cluster = parse_cluster(flags.get("cluster").unwrap_or("case2"))?;
     let scale: u32 = flags.get_or("scale", 320u32)?;
     if scale == 0 {
         return Err(CliError("--scale must be positive".into()));
     }
     let threads = parse_threads(&flags)?;
+    let apps = parse_apps(flags.get("apps").unwrap_or("all"))?;
     println!(
         "profiling {} machines with the standard proxy set at 1/{scale} scale...\n",
         cluster.len()
     );
-    let pool =
-        CcrPool::profile_with_threads(&cluster, &ProxySet::standard(scale), &standard_apps(), threads);
+    let pool = CcrPool::profile_with_threads(&cluster, &ProxySet::standard(scale), &apps, threads);
     let prior = PriorWorkEstimator::new().estimate(&cluster);
-    println!("{:24} {}", "app", "CCR per machine (slowest = 1.0)");
+    println!("{:24} CCR per machine (slowest = 1.0)", "app");
     for set in pool.iter() {
         let r: Vec<String> = set.ratios().iter().map(|x| format!("{x:.2}")).collect();
         println!("{:24} [{}]", set.app(), r.join(", "));
@@ -318,7 +336,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             let pool = CcrPool::profile_with_threads(
                 &cluster,
                 &ProxySet::standard(scale.max(1)),
-                &[app],
+                std::slice::from_ref(&app),
                 threads,
             );
             MachineWeights::from_ccr(pool.ccr(app.name()).expect("just profiled").ratios())
@@ -343,6 +361,58 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             .join(", ")
     );
     println!("compute imbalance: {:.3}", report.compute_imbalance());
+    Ok(())
+}
+
+/// `hetgraph submit` — run one job through the Fig 7b [`Framework`] flow:
+/// deploy (offline proxy profiling of the full registry), then submit.
+pub fn submit(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "input",
+            "cluster",
+            "app",
+            "algorithm",
+            "policy",
+            "scale",
+            "threads",
+        ],
+    )?;
+    let g = load_graph(flags.require("input")?)?;
+    let cluster = parse_cluster(flags.get("cluster").unwrap_or("case2"))?;
+    let app = parse_app(flags.get("app").unwrap_or("pagerank"))?;
+    let threads = parse_threads(&flags)?;
+    let scale: u32 = flags.get_or("scale", 640u32)?;
+    if scale == 0 {
+        return Err(CliError("--scale must be positive".into()));
+    }
+    let policy = match flags.get("policy").unwrap_or("ccr") {
+        "default" => BalancePolicy::Uniform,
+        "prior" => BalancePolicy::ThreadCounts,
+        "ccr" => BalancePolicy::CcrGuided,
+        other => {
+            return Err(CliError(format!(
+                "unknown policy {other:?}; expected default, prior, or ccr"
+            )))
+        }
+    };
+    let mut framework = Framework::deploy(cluster, scale)
+        .with_policy(policy)
+        .with_threads(threads);
+    if let Some(name) = flags.get("algorithm") {
+        framework = framework.with_partitioner(parse_partitioner(name)?);
+    }
+    let result = framework.submit(&g, &app);
+    println!("{}", result.report);
+    println!(
+        "partition: replication factor {:.3}, max normalized load {:.3}",
+        result.partition.replication_factor, result.partition.max_normalized_load
+    );
+    println!(
+        "compute imbalance: {:.3}",
+        result.report.compute_imbalance()
+    );
     Ok(())
 }
 
@@ -478,9 +548,43 @@ mod tests {
     }
 
     #[test]
+    fn submit_runs_framework_flow_with_threads() {
+        let path = tmp("submit.hgb");
+        generate(&argv(&[
+            "--family",
+            "powerlaw",
+            "--vertices",
+            "600",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        submit(&argv(&[
+            "--input",
+            &path,
+            "--cluster",
+            "case2",
+            "--app",
+            "kcore",
+            "--threads",
+            "2",
+            "--scale",
+            "3200",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
     fn helpful_errors() {
         assert!(parse_cluster("nope").unwrap_err().0.contains("case1"));
-        assert!(parse_app("nope").unwrap_err().0.contains("pagerank"));
+        let err = parse_app("nope").unwrap_err();
+        assert!(
+            err.0.contains("pagerank") && err.0.contains("kcore"),
+            "{err:?}"
+        );
+        assert!(parse_apps("").is_err());
+        assert_eq!(parse_apps("all").unwrap().len(), 6);
+        assert_eq!(parse_apps("sssp,sssp").unwrap().len(), 1);
         assert!(parse_partitioner("nope").unwrap_err().0.contains("hybrid"));
         assert!(load_graph("/definitely/missing")
             .unwrap_err()

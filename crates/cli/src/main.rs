@@ -5,8 +5,9 @@
 //! hetgraph alpha     --input FILE | --vertices N --edges M
 //! hetgraph stats     --input FILE
 //! hetgraph partition --input FILE --machines K [--algorithm NAME] [--weights a,b,...]
-//! hetgraph profile   [--cluster case1|case2|case3] [--scale N]
+//! hetgraph profile   [--cluster case1|case2|case3] [--scale N] [--apps LIST]
 //! hetgraph simulate  --input FILE [--cluster C] [--app A] [--algorithm P] [--policy default|prior|ccr]
+//! hetgraph submit    --input FILE [--cluster C] [--app A] [--algorithm P] [--policy ...] [--threads N]
 //! ```
 //!
 //! Graph files: `.hgb` is the compact binary format; any other extension
@@ -33,10 +34,17 @@ commands:
              --input FILE [--machines K] [--algorithm NAME] [--weights a,b,...]
   profile    proxy-profile a cluster (prints the CCR pool)
              [--cluster case1|case2|case3] [--scale N] [--threads N]
+             [--apps LIST|all]
   simulate   run one application on a simulated heterogeneous cluster
              --input FILE [--cluster C] [--app A] [--algorithm P]
              [--policy default|prior|ccr] [--scale N] [--threads N]
+  submit     run one job through the full Fig 7b framework flow
+             (deploy = offline profiling of every registered app, then
+             CCR-pick, partition, execute)
+             --input FILE [--cluster C] [--app A] [--algorithm P]
+             [--policy default|prior|ccr] [--scale N] [--threads N]
 
+apps: pagerank, coloring, connected_components, triangle_count, sssp, kcore
 --threads defaults to HETGRAPH_THREADS or every available core.
 ";
 
@@ -54,6 +62,7 @@ fn main() {
         "partition" => commands::partition(rest),
         "profile" => commands::profile(rest),
         "simulate" => commands::simulate(rest),
+        "submit" => commands::submit(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return;

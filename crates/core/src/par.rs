@@ -251,7 +251,7 @@ mod tests {
         let cap = a.capacity();
         a.clear();
         pool.put(a);
-        let b = pool.take(|| Vec::new());
+        let b = pool.take(Vec::new);
         assert!(b.is_empty());
         assert_eq!(b.capacity(), cap, "buffer was recycled, not rebuilt");
     }

@@ -16,15 +16,15 @@
 //! - [`program`] — the [`GasProgram`] trait (Jacobi-style functional GAS).
 //! - [`distributed`] — [`DistributedGraph`]: the partition-aware view that
 //!   knows which machine owns each CSR adjacency slot.
-//! - [`sim`] — [`SimEngine`]: the BSP superstep loop with timing, energy,
-//!   and communication accounting.
+//! - [`sim`] — [`SimEngine`]: **the** BSP superstep loop (there is exactly
+//!   one; serial execution is its 1-thread case) with timing, energy, and
+//!   communication accounting.
 //! - [`report`] — [`SimReport`]: everything the evaluation harness reads.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod distributed;
-pub mod parallel;
 pub mod program;
 pub mod report;
 pub mod sim;

@@ -35,8 +35,10 @@ pub enum ActiveInit {
 ///
 /// All methods must be pure functions of their arguments (no interior
 /// state), which makes execution deterministic and lets the engine
-/// re-order work freely within a superstep.
-pub trait GasProgram {
+/// re-order work freely within a superstep. `Sync` is a supertrait
+/// because the one superstep kernel shares the program across its worker
+/// threads (the serial path is the same kernel at one thread).
+pub trait GasProgram: Sync {
     /// Per-vertex state.
     type VertexData: Clone + Send + Sync;
     /// Gather accumulator.

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+//!
 //! Two further families serve the ablations: [`preferential`]
 //! (Barabási–Albert — heavy tails *by growth*) and [`smallworld`]
 //! (Watts–Strogatz — the hub-free adversarial case).

@@ -66,7 +66,7 @@ mod tests {
     #[test]
     fn destinations_cover_all_vertices() {
         let g = gnm(10, 1_000, 4);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for e in g.edges() {
             seen[e.dst as usize] = true;
         }

@@ -94,9 +94,7 @@ impl Partitioner for Ginger {
                 continue;
             }
             // Neighbor overlap against current homes.
-            for o in &mut overlap {
-                *o = 0.0;
-            }
+            overlap.fill(0.0);
             for &u in graph.in_neighbors(v).iter().chain(graph.out_neighbors(v)) {
                 overlap[home[u as usize] as usize] += 1.0;
             }

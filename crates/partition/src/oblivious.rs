@@ -54,8 +54,8 @@ impl Partitioner for Oblivious {
             // Normalized loads bound the balance term.
             let mut min_nl = f64::INFINITY;
             let mut max_nl = f64::NEG_INFINITY;
-            for i in 0..p {
-                let nl = loads[i] / weights.as_slice()[i];
+            for (i, load) in loads.iter().enumerate().take(p) {
+                let nl = load / weights.as_slice()[i];
                 min_nl = min_nl.min(nl);
                 max_nl = max_nl.max(nl);
             }
@@ -63,8 +63,8 @@ impl Partitioner for Oblivious {
 
             let mut best_score = f64::NEG_INFINITY;
             let mut best: Vec<u16> = Vec::with_capacity(2);
-            for i in 0..p {
-                let nl = loads[i] / weights.as_slice()[i];
+            for (i, load) in loads.iter().enumerate().take(p) {
+                let nl = load / weights.as_slice()[i];
                 // bal ∈ [0, 1]: exactly 1 for the least-loaded machine(s) so
                 // that "empty machine" ties "machine with one endpoint" and
                 // the hash tie-break lets hubs spread (PowerGraph breaks

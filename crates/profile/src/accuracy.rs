@@ -16,7 +16,7 @@
 //! (= 100 % − error): ~92 % within an EC2 category, ~96 % across
 //! categories, versus ~108 % *error* for thread counts.
 
-use hetgraph_apps::StandardApp;
+use hetgraph_apps::AnyApp;
 use hetgraph_cluster::MachineSpec;
 use hetgraph_core::stats;
 use hetgraph_core::Graph;
@@ -84,7 +84,7 @@ impl AccuracyReport {
     pub fn evaluate(
         baseline: &MachineSpec,
         machines: &[MachineSpec],
-        apps: &[StandardApp],
+        apps: &[AnyApp],
         proxies: &ProxySet,
         real_graphs: &[Graph],
     ) -> Self {
@@ -94,7 +94,7 @@ impl AccuracyReport {
         let proxy_graphs: Vec<Graph> = proxies.proxies().iter().map(|p| p.generate()).collect();
 
         let mut rows = Vec::new();
-        for &app in apps {
+        for app in apps {
             let base_real: Vec<f64> = real_graphs
                 .iter()
                 .map(|g| single_machine_time(baseline, app, g))
@@ -125,12 +125,26 @@ impl AccuracyReport {
 
     /// Mean proxy relative error in percent (paper: ~8 % within category).
     pub fn proxy_error_pct(&self) -> f64 {
-        100.0 * stats::mean(&self.rows.iter().map(|r| r.proxy_error()).collect::<Vec<_>>())
+        100.0
+            * stats::mean(
+                &self
+                    .rows
+                    .iter()
+                    .map(|r| r.proxy_error())
+                    .collect::<Vec<_>>(),
+            )
     }
 
     /// Mean prior-work relative error in percent (paper: ~108 %).
     pub fn prior_error_pct(&self) -> f64 {
-        100.0 * stats::mean(&self.rows.iter().map(|r| r.prior_error()).collect::<Vec<_>>())
+        100.0
+            * stats::mean(
+                &self
+                    .rows
+                    .iter()
+                    .map(|r| r.prior_error())
+                    .collect::<Vec<_>>(),
+            )
     }
 
     /// The paper's headline "accuracy" = 100 % − proxy error.

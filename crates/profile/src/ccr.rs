@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use hetgraph_apps::StandardApp;
+use hetgraph_apps::AnyApp;
 use hetgraph_cluster::Cluster;
 use hetgraph_core::Graph;
 use hetgraph_gen::ProxySet;
@@ -113,7 +113,7 @@ impl CcrPool {
     /// 2. group machines by type and profile one representative per group,
     ///    each application on each proxy, on the machine in isolation;
     /// 3. expand group times to all members and form CCRs (Eq. 1).
-    pub fn profile(cluster: &Cluster, proxies: &ProxySet, apps: &[StandardApp]) -> Self {
+    pub fn profile(cluster: &Cluster, proxies: &ProxySet, apps: &[AnyApp]) -> Self {
         Self::profile_with_threads(cluster, proxies, apps, 1)
     }
 
@@ -129,7 +129,7 @@ impl CcrPool {
     pub fn profile_with_threads(
         cluster: &Cluster,
         proxies: &ProxySet,
-        apps: &[StandardApp],
+        apps: &[AnyApp],
         host_threads: usize,
     ) -> Self {
         let specs = proxies.proxies();
@@ -143,10 +143,10 @@ impl CcrPool {
             hetgraph_core::par::scheduled(apps.len() * n_groups, host_threads, |k| {
                 let (ai, gi) = (k / n_groups, k % n_groups);
                 let rep = cluster.machine(group_list[gi].1[0]);
-                profiling_set_time(rep, apps[ai], &graphs)
+                profiling_set_time(rep, &apps[ai], &graphs)
             });
         let mut pool = CcrPool::new();
-        for (ai, &app) in apps.iter().enumerate() {
+        for (ai, app) in apps.iter().enumerate() {
             let mut group_time: BTreeMap<&str, f64> = BTreeMap::new();
             for (gi, (name, _)) in group_list.iter().enumerate() {
                 group_time.insert(name.as_str(), cell_times[ai * n_groups + gi]);
@@ -240,11 +240,7 @@ mod tests {
             catalog::xeon_l(),
             catalog::xeon_s(), // second member of the xeon_s group
         ]);
-        let pool = CcrPool::profile(
-            &cluster,
-            &ProxySet::standard(6400),
-            &[StandardApp::PageRank],
-        );
+        let pool = CcrPool::profile(&cluster, &ProxySet::standard(6400), &[AnyApp::pagerank()]);
         let r = pool.ccr("pagerank").unwrap().ratios();
         assert_eq!(r[0], r[2], "same-type machines share the profiled CCR");
         assert!(r[1] > r[0]);

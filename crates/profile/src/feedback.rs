@@ -14,7 +14,7 @@
 //! thread-count weights it pays several epochs of migration to reach the
 //! same balance (see `exp_ablation --study feedback`).
 
-use hetgraph_apps::StandardApp;
+use hetgraph_apps::AnyApp;
 use hetgraph_cluster::Cluster;
 use hetgraph_core::Graph;
 use hetgraph_engine::SimEngine;
@@ -75,7 +75,7 @@ impl FeedbackBalancer {
         &self,
         cluster: &Cluster,
         graph: &Graph,
-        app: StandardApp,
+        app: &AnyApp,
         partitioner: &dyn Partitioner,
         initial: MachineWeights,
     ) -> Vec<Epoch> {
@@ -141,7 +141,7 @@ mod tests {
         let history = balancer.run(
             &cluster,
             &graph,
-            StandardApp::PageRank,
+            &AnyApp::pagerank(),
             &RandomHash::new(),
             MachineWeights::uniform(2),
         );
@@ -162,25 +162,21 @@ mod tests {
         // The paper's argument: a good static estimate makes dynamic
         // migration unnecessary.
         let (cluster, graph) = setup();
-        let pool = CcrPool::profile(
-            &cluster,
-            &ProxySet::standard(3200),
-            &[StandardApp::PageRank],
-        );
+        let pool = CcrPool::profile(&cluster, &ProxySet::standard(3200), &[AnyApp::pagerank()]);
         let ccr_weights =
             MachineWeights::from_ccr(pool.ccr("pagerank").expect("profiled").ratios());
         let balancer = FeedbackBalancer::default();
         let from_ccr = balancer.run(
             &cluster,
             &graph,
-            StandardApp::PageRank,
+            &AnyApp::pagerank(),
             &RandomHash::new(),
             ccr_weights,
         );
         let from_uniform = balancer.run(
             &cluster,
             &graph,
-            StandardApp::PageRank,
+            &AnyApp::pagerank(),
             &RandomHash::new(),
             MachineWeights::uniform(2),
         );
@@ -189,7 +185,7 @@ mod tests {
         let e_uni = FeedbackBalancer::epochs_to_balance(&from_uniform, thr);
         assert_eq!(e_ccr, Some(0), "CCR start should be balanced immediately");
         assert!(
-            e_uni.map_or(true, |e| e > 0),
+            e_uni.is_none_or(|e| e > 0),
             "uniform start should need at least one migration epoch"
         );
     }
@@ -200,7 +196,7 @@ mod tests {
         let history = FeedbackBalancer::new(1.0, 3).run(
             &cluster,
             &graph,
-            StandardApp::ConnectedComponents,
+            &AnyApp::connected_components(),
             &RandomHash::new(),
             MachineWeights::uniform(2),
         );

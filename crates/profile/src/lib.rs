@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+//!
 //! Beyond the paper's figures, two maintenance/comparison extensions:
 //!
 //! - [`feedback`] — a Mizan-style dynamic rebalancer that migrates load

@@ -9,7 +9,7 @@
 //! far each application's CCR moved, and replace the pool only when drift
 //! exceeds a threshold (avoiding partition-cache invalidation for noise).
 
-use hetgraph_apps::StandardApp;
+use hetgraph_apps::AnyApp;
 use hetgraph_cluster::Cluster;
 use hetgraph_core::stats;
 use hetgraph_gen::ProxySet;
@@ -78,7 +78,7 @@ impl CcrMaintainer {
         pool: &mut CcrPool,
         cluster: &Cluster,
         proxies: &ProxySet,
-        apps: &[StandardApp],
+        apps: &[AnyApp],
     ) -> RefreshOutcome {
         let fresh = CcrPool::profile(cluster, proxies, apps);
         let mut drift = Vec::new();
@@ -155,13 +155,13 @@ mod tests {
     fn new_application_is_added() {
         let cluster = Cluster::case2();
         let proxies = ProxySet::standard(6400);
-        let mut pool = CcrPool::profile(&cluster, &proxies, &[StandardApp::PageRank]);
+        let mut pool = CcrPool::profile(&cluster, &proxies, &[AnyApp::pagerank()]);
         assert!(pool.ccr("coloring").is_none());
         let outcome = CcrMaintainer::default().maintain(
             &mut pool,
             &cluster,
             &proxies,
-            &[StandardApp::PageRank, StandardApp::Coloring],
+            &[AnyApp::pagerank(), AnyApp::coloring()],
         );
         assert!(outcome.refreshed);
         assert!(pool.ccr("coloring").is_some());
@@ -170,18 +170,14 @@ mod tests {
     #[test]
     fn cluster_resize_is_treated_as_drift() {
         let proxies = ProxySet::standard(6400);
-        let mut pool = CcrPool::profile(&Cluster::case2(), &proxies, &[StandardApp::PageRank]);
+        let mut pool = CcrPool::profile(&Cluster::case2(), &proxies, &[AnyApp::pagerank()]);
         let three = Cluster::new(vec![
             catalog::xeon_s(),
             catalog::xeon_l(),
             catalog::xeon_l(),
         ]);
-        let outcome = CcrMaintainer::default().maintain(
-            &mut pool,
-            &three,
-            &proxies,
-            &[StandardApp::PageRank],
-        );
+        let outcome =
+            CcrMaintainer::default().maintain(&mut pool, &three, &proxies, &[AnyApp::pagerank()]);
         assert!(outcome.refreshed);
         assert_eq!(pool.ccr("pagerank").unwrap().len(), 3);
     }

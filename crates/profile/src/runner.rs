@@ -6,7 +6,7 @@
 //! by simulating on a one-machine cluster: every edge is local, there are
 //! no mirrors, and the network contributes only the per-superstep barrier.
 
-use hetgraph_apps::StandardApp;
+use hetgraph_apps::AnyApp;
 use hetgraph_cluster::{Cluster, MachineSpec};
 use hetgraph_core::Graph;
 use hetgraph_engine::SimEngine;
@@ -14,7 +14,7 @@ use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
 
 /// Simulated wall-clock seconds for `app` on `graph` executed entirely on
 /// `machine` (the paper's per-machine profiling run).
-pub fn single_machine_time(machine: &MachineSpec, app: StandardApp, graph: &Graph) -> f64 {
+pub fn single_machine_time(machine: &MachineSpec, app: &AnyApp, graph: &Graph) -> f64 {
     let cluster = Cluster::new(vec![machine.clone()]);
     let assignment = RandomHash::new().partition(graph, &MachineWeights::uniform(1));
     let engine = SimEngine::new(&cluster);
@@ -23,7 +23,7 @@ pub fn single_machine_time(machine: &MachineSpec, app: StandardApp, graph: &Grap
 
 /// Profiling-set time: the sum over several graphs (the paper combines
 /// each application with every synthetic graph into one profiling set).
-pub fn profiling_set_time(machine: &MachineSpec, app: StandardApp, graphs: &[Graph]) -> f64 {
+pub fn profiling_set_time(machine: &MachineSpec, app: &AnyApp, graphs: &[Graph]) -> f64 {
     graphs
         .iter()
         .map(|g| single_machine_time(machine, app, g))
@@ -43,9 +43,9 @@ mod tests {
     #[test]
     fn faster_machine_finishes_sooner() {
         let g = graph();
-        for app in StandardApp::ALL {
-            let slow = single_machine_time(&catalog::xeon_s(), app, &g);
-            let fast = single_machine_time(&catalog::xeon_l(), app, &g);
+        for app in hetgraph_apps::full_apps() {
+            let slow = single_machine_time(&catalog::xeon_s(), &app, &g);
+            let fast = single_machine_time(&catalog::xeon_l(), &app, &g);
             assert!(fast < slow, "{app}: fast {fast} !< slow {slow}");
         }
     }
@@ -53,8 +53,8 @@ mod tests {
     #[test]
     fn times_are_deterministic() {
         let g = graph();
-        let a = single_machine_time(&catalog::c4_xlarge(), StandardApp::PageRank, &g);
-        let b = single_machine_time(&catalog::c4_xlarge(), StandardApp::PageRank, &g);
+        let a = single_machine_time(&catalog::c4_xlarge(), &AnyApp::pagerank(), &g);
+        let b = single_machine_time(&catalog::c4_xlarge(), &AnyApp::pagerank(), &g);
         assert_eq!(a, b);
     }
 
@@ -63,13 +63,9 @@ mod tests {
         let g1 = PowerLawConfig::new(800, 2.0).generate(1);
         let g2 = PowerLawConfig::new(800, 2.3).generate(2);
         let m = catalog::xeon_s();
-        let set = profiling_set_time(
-            &m,
-            StandardApp::ConnectedComponents,
-            &[g1.clone(), g2.clone()],
-        );
-        let separate = single_machine_time(&m, StandardApp::ConnectedComponents, &g1)
-            + single_machine_time(&m, StandardApp::ConnectedComponents, &g2);
+        let cc = AnyApp::connected_components();
+        let set = profiling_set_time(&m, &cc, &[g1.clone(), g2.clone()]);
+        let separate = single_machine_time(&m, &cc, &g1) + single_machine_time(&m, &cc, &g2);
         assert!((set - separate).abs() < 1e-12);
     }
 
@@ -79,12 +75,12 @@ mod tests {
         // PageRank's gain from 4xlarge to 8xlarge is much smaller than
         // TriangleCount's.
         let g = graph();
-        let gain = |app: StandardApp| {
+        let gain = |app: &AnyApp| {
             single_machine_time(&catalog::c4_4xlarge(), app, &g)
                 / single_machine_time(&catalog::c4_8xlarge(), app, &g)
         };
-        let pr = gain(StandardApp::PageRank);
-        let tc = gain(StandardApp::TriangleCount);
+        let pr = gain(&AnyApp::pagerank());
+        let tc = gain(&AnyApp::triangle_count());
         assert!(tc > pr, "tc gain {tc} should exceed pagerank gain {pr}");
         assert!(pr < 1.35, "pagerank should saturate, got gain {pr}");
     }

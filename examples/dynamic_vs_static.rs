@@ -24,7 +24,7 @@ fn main() {
     );
 
     let pool = CcrPool::profile(&cluster, &ProxySet::standard(640), &standard_apps());
-    let app = StandardApp::PageRank;
+    let app = AnyApp::pagerank();
     let balancer = FeedbackBalancer::default();
 
     let starts: Vec<(&str, MachineWeights)> = vec![
@@ -41,7 +41,7 @@ fn main() {
 
     for (name, weights) in starts {
         println!("starting from {name}:");
-        let history = balancer.run(&cluster, &graph, app, &RandomHash::new(), weights);
+        let history = balancer.run(&cluster, &graph, &app, &RandomHash::new(), weights);
         for epoch in &history {
             let w: Vec<String> = epoch.weights.iter().map(|x| format!("{x:.2}")).collect();
             println!(

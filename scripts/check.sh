@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the hetgraph workspace. Run before every commit:
+#
+#   scripts/check.sh            # full gate
+#   scripts/check.sh --fast     # skip the release build (debug test run only)
+#
+# Fully offline: external crates resolve to path stand-ins under
+# third_party/ (see third_party/README.md), so no step here touches the
+# network or the crates.io registry.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) fast=1 ;;
+    *)
+        echo "usage: scripts/check.sh [--fast]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+if [ "$fast" -eq 0 ]; then
+    step cargo build --release --workspace --all-targets
+fi
+step cargo test -q --workspace
+
+# cargo fmt --all would also reformat the third_party/ offline stand-ins,
+# which track upstream layout; gate only this repo's own sources.
+echo
+echo "==> rustfmt --check (workspace sources, third_party excluded)"
+git ls-files '*.rs' | grep -v '^third_party/' \
+    | while read -r f; do [ -f "$f" ] && printf '%s\n' "$f"; done \
+    | xargs rustfmt --check --edition 2021
+
+step cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "check.sh: all gates passed"

@@ -56,7 +56,8 @@ pub use hetgraph_profile as profile;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use hetgraph_apps::{
-        standard_apps, Coloring, ConnectedComponents, PageRank, StandardApp, TriangleCount,
+        full_apps, standard_apps, AnyApp, AppRegistry, AppSpec, Coloring, ConnectedComponents,
+        KCore, PageRank, Sssp, TriangleCount,
     };
     pub use hetgraph_cluster::{
         catalog, AppProfile, Cluster, EnergyModel, MachineSpec, NetworkModel,

@@ -109,23 +109,31 @@ fn triangle_count_identical_across_all_placements() {
 }
 
 #[test]
-fn sssp_and_kcore_identical_across_placements() {
+fn sssp_and_kcore_identical_across_placements_and_thread_counts() {
+    // The extension apps must match their sequential references exactly —
+    // on every partitioner/weighting, and at every host-thread budget.
+    // The unified kernel makes thread count an execution detail: 1, 2 and
+    // 4 workers must all produce byte-identical vertex data.
     let g = workload();
     let want_d = reference::sssp_ref(&g, 5);
     let want_k = reference::kcore_ref(&g, 3);
     let cluster = Cluster::case3();
     let engine = SimEngine::new(&cluster);
     for (label, a) in all_assignments(&g, &cluster) {
-        assert_eq!(
-            engine.run(&g, &a, &Sssp::new(5)).data,
-            want_d,
-            "sssp under {label}"
-        );
-        assert_eq!(
-            engine.run(&g, &a, &KCore::new(3)).data,
-            want_k,
-            "kcore under {label}"
-        );
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                engine.run_with_threads(&g, &a, &Sssp::new(5), threads).data,
+                want_d,
+                "sssp under {label} with {threads} thread(s)"
+            );
+            assert_eq!(
+                engine
+                    .run_with_threads(&g, &a, &KCore::new(3), threads)
+                    .data,
+                want_k,
+                "kcore under {label} with {threads} thread(s)"
+            );
+        }
     }
 }
 

@@ -26,11 +26,7 @@ fn fixture() -> (Cluster, CcrPool, Vec<(String, Graph)>) {
 
 /// The pre-memo, pre-threading reference: partition and simulate every
 /// cell from scratch in nested-loop order.
-fn serial_baseline(
-    cluster: &Cluster,
-    pool: &CcrPool,
-    graphs: &[(String, Graph)],
-) -> Vec<CaseRow> {
+fn serial_baseline(cluster: &Cluster, pool: &CcrPool, graphs: &[(String, Graph)]) -> Vec<CaseRow> {
     let engine = SimEngine::new(cluster);
     let mut rows = Vec::new();
     for (gname, graph) in graphs {
