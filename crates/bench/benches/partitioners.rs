@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use hetgraph_gen::RmatConfig;
+use hetgraph_gen::{PowerLawConfig, RmatConfig};
 use hetgraph_partition::{MachineWeights, PartitionerKind};
 
 fn bench_partitioners(c: &mut Criterion) {
@@ -30,5 +30,50 @@ fn bench_partitioners(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioners);
+/// Machine-count sweep over the streaming fast path: P ∈ {4, 16, 48}
+/// spans the u16/u16/u64 replica-mask monomorphizations, so regressions
+/// in any width class show up separately.
+fn bench_machine_counts(c: &mut Criterion) {
+    let graph = PowerLawConfig::new(40_000, 2.1).generate(42);
+    let mut group = c.benchmark_group("partition_machine_count");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    group.sample_size(10);
+    for p in [4usize, 16, 48] {
+        let weights = MachineWeights::uniform(p);
+        for kind in [PartitionerKind::Oblivious, PartitionerKind::Ginger] {
+            let partitioner = kind.build();
+            group.bench_with_input(BenchmarkId::new(kind.name(), p), &graph, |b, g| {
+                b.iter(|| black_box(partitioner.partition(g, &weights)));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Thread-count sweep: the deterministic chunked partitioners must not
+/// regress at any thread budget (results are identical; only wall-clock
+/// differs).
+fn bench_partition_threads(c: &mut Criterion) {
+    let graph = PowerLawConfig::new(40_000, 2.1).generate(42);
+    let weights = MachineWeights::uniform(16);
+    let mut group = c.benchmark_group("partition_threads");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for kind in [PartitionerKind::RandomHash, PartitionerKind::Grid] {
+            let partitioner = kind.build();
+            group.bench_with_input(BenchmarkId::new(kind.name(), threads), &graph, |b, g| {
+                b.iter(|| black_box(partitioner.partition_with_threads(g, &weights, threads)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partitioners,
+    bench_machine_counts,
+    bench_partition_threads
+);
 criterion_main!(benches);

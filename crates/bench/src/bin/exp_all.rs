@@ -100,6 +100,9 @@ fn main() {
     timed(&mut phases, "ablation_frequency", || {
         hetgraph_bench::ablation::frequency_sweep(&ctx);
     });
+    timed(&mut phases, "partition_bench", || {
+        hetgraph_bench::partition_bench::partition(&ctx);
+    });
 
     if ctx.out_dir.is_some() {
         // Serial reference for the speedup column. The headline phase is

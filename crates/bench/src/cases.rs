@@ -133,8 +133,11 @@ pub fn run_matrix_counted(
     let parts: Vec<(PartitionAssignment, PartitionMetrics)> =
         hetgraph_core::par::scheduled(jobs.len(), sweep_threads, |j| {
             let (gi, kind, weights) = &jobs[j];
-            let assignment = kind.build().partition(&graphs[*gi].1, weights);
-            let metrics = PartitionMetrics::compute(&assignment, weights);
+            let assignment =
+                kind.build()
+                    .partition_with_threads(&graphs[*gi].1, weights, engine_threads);
+            let metrics =
+                PartitionMetrics::compute_with_threads(&assignment, weights, engine_threads);
             (assignment, metrics)
         });
 
@@ -142,7 +145,7 @@ pub fn run_matrix_counted(
     // instead of one per cell.
     let dists: Vec<DistributedGraph<'_>> =
         hetgraph_core::par::scheduled(jobs.len(), sweep_threads, |j| {
-            DistributedGraph::new(&graphs[jobs[j].0].1, &parts[j].0)
+            DistributedGraph::new_with_threads(&graphs[jobs[j].0].1, &parts[j].0, engine_threads)
         });
 
     // Phase 4 (parallel): simulate every cell; `scheduled` returns the

@@ -21,6 +21,7 @@
 //! | [`cost_fig::fig11`] | Fig 11 (cost/perf Pareto) |
 //! | [`headline::headline`] | the abstract's aggregate claims |
 //! | [`ablation`] | beyond-paper sensitivity studies |
+//! | [`partition_bench::partition`] | partition perf baseline (`BENCH_partition.json`) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,6 +33,7 @@ pub mod context;
 pub mod cost_fig;
 pub mod headline;
 pub mod output;
+pub mod partition_bench;
 pub mod policy;
 pub mod tables;
 

@@ -1,0 +1,274 @@
+//! Partition perf baseline (`BENCH_partition.json`).
+//!
+//! Two measurements, both on frozen power-law fixtures (`generate(42)`):
+//!
+//! 1. **Throughput sweep** — single-threaded ingest rate (edges/sec) of
+//!    every [`PartitionerKind`] at P ∈ {4, 16, 48} machines, spanning the
+//!    u16/u16/u64 replica-mask monomorphizations of the streaming fast
+//!    path.
+//! 2. **Oblivious speedup** — the streaming fast path against a vendored
+//!    copy of the seed's O(E·P·3) greedy loop ([`seed_oblivious`]) on a
+//!    ≥1M-edge fixture at P=16, interleaved min-of-N, asserting the two
+//!    produce byte-identical assignments (the fast path is an
+//!    optimization, not an approximation).
+//!
+//! Fixture sizes scale with [`ExperimentContext::scale`] like every other
+//! experiment; the committed `BENCH_partition.json` is generated at
+//! `--scale 1` (see `scripts/bench.sh`).
+
+use std::time::Instant;
+
+use hetgraph_core::rng::hash64;
+use hetgraph_core::Graph;
+use hetgraph_gen::PowerLawConfig;
+use hetgraph_partition::{
+    MachineWeights, Oblivious, PartitionAssignment, Partitioner, PartitionerKind,
+};
+
+use crate::context::ExperimentContext;
+use crate::output;
+
+/// Machine counts swept by the throughput measurement: one per
+/// replica-mask width class of the streaming partitioners (u16 / u16 /
+/// u64).
+pub const MACHINE_COUNTS: [usize; 3] = [4, 16, 48];
+
+/// One partitioner × machine-count throughput measurement.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ThroughputRow {
+    /// Partitioner name ([`PartitionerKind::name`]).
+    pub partitioner: String,
+    /// Number of machines partitioned across.
+    pub machines: usize,
+    /// Best-of-`reps` wall-clock of one full ingest, seconds.
+    pub wall_s: f64,
+    /// Edges ingested per second at `wall_s`.
+    pub edges_per_sec: f64,
+}
+
+/// The seed-vs-fast-path Oblivious comparison.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ObliviousSpeedup {
+    /// Vertices in the headline fixture.
+    pub vertices: u32,
+    /// Edges in the headline fixture (must be ≥ 1M at scale 1).
+    pub edges: usize,
+    /// Machines (16: the u16 replica-mask class).
+    pub machines: usize,
+    /// Interleaved repetitions; both columns are min-of-`reps`.
+    pub reps: usize,
+    /// Best wall-clock of the vendored seed implementation, seconds.
+    pub seed_wall_s: f64,
+    /// Best wall-clock of the streaming fast path, seconds.
+    pub fast_wall_s: f64,
+    /// `seed_wall_s / fast_wall_s`.
+    pub speedup: f64,
+    /// Whether every rep produced byte-identical `edge_machines()`.
+    pub assignments_identical: bool,
+}
+
+/// The `BENCH_partition.json` payload.
+#[derive(Debug, serde::Serialize)]
+pub struct PartitionBench {
+    /// Graph downscale factor the fixtures were generated at.
+    pub scale: u32,
+    /// Vertices in the throughput fixture.
+    pub throughput_vertices: u32,
+    /// Edges in the throughput fixture.
+    pub throughput_edges: usize,
+    /// Per-partitioner ingest rates.
+    pub throughput: Vec<ThroughputRow>,
+    /// The seed-vs-fast Oblivious comparison.
+    pub oblivious_speedup: ObliviousSpeedup,
+    /// Total experiment wall-clock, seconds.
+    pub total_wall_s: f64,
+}
+
+/// The seed's Oblivious greedy loop, vendored verbatim as the live
+/// baseline for [`ObliviousSpeedup`]: per edge it rescans all P machines
+/// three times (normalized-load bounds, then scoring) with two divisions
+/// per machine per scan. The library implementation in
+/// `hetgraph-partition` keeps normalized loads and balance terms
+/// incrementally and must stay byte-identical to this loop — the
+/// speedup measurement asserts that on every rep.
+#[allow(clippy::needless_range_loop)] // vendored loop shape is the baseline
+fn seed_oblivious(graph: &Graph, weights: &MachineWeights) -> PartitionAssignment {
+    let p = weights.len();
+    let n = graph.num_vertices() as usize;
+    let mut replicas = vec![0u64; n]; // running replica sets
+    let mut loads = vec![0f64; p]; // raw edge counts per machine
+    let mut assignment = Vec::with_capacity(graph.num_edges());
+
+    for e in graph.edges() {
+        let mu = replicas[e.src as usize];
+        let mv = replicas[e.dst as usize];
+        // Normalized loads bound the balance term.
+        let mut min_nl = f64::INFINITY;
+        let mut max_nl = f64::NEG_INFINITY;
+        for i in 0..p {
+            let nl = loads[i] / weights.as_slice()[i];
+            min_nl = min_nl.min(nl);
+            max_nl = max_nl.max(nl);
+        }
+        let range = max_nl - min_nl;
+
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best: Vec<u16> = Vec::with_capacity(2);
+        for i in 0..p {
+            let nl = loads[i] / weights.as_slice()[i];
+            let bal = if range <= f64::EPSILON {
+                1.0
+            } else {
+                (max_nl - nl) / range
+            };
+            let locality = ((mu >> i) & 1) as f64 + ((mv >> i) & 1) as f64;
+            let score = bal + locality;
+            if score > best_score + 1e-9 {
+                best_score = score;
+                best.clear();
+                best.push(i as u16);
+            } else if (score - best_score).abs() <= 1e-9 {
+                best.push(i as u16);
+            }
+        }
+        let chosen = best[(hash64(e.key()) % best.len() as u64) as usize];
+        replicas[e.src as usize] |= 1u64 << chosen;
+        replicas[e.dst as usize] |= 1u64 << chosen;
+        loads[chosen as usize] += 1.0;
+        assignment.push(chosen);
+    }
+    PartitionAssignment::from_edge_machines(graph, p, assignment)
+}
+
+/// Run the partition perf baseline, print its tables, and (with `--out`)
+/// write `BENCH_partition.json`.
+pub fn partition(ctx: &ExperimentContext) -> PartitionBench {
+    let t0 = Instant::now();
+    let scale = ctx.scale;
+    // Fixture sizes follow the experiment-wide convention: scale 1 is
+    // full size, larger scales shrink proportionally (floored so tests
+    // at scale 64 still exercise every code path).
+    let n_tp = (400_000 / scale).max(2_000);
+    let n_hl = (1_000_000 / scale).max(4_000);
+    let reps_tp = 3;
+    let reps_hl = 5;
+
+    println!("== partition perf baseline (scale {scale}) ==");
+    let tp_graph = PowerLawConfig::new(n_tp, 2.1).generate(42);
+    let m = tp_graph.num_edges();
+    println!("throughput fixture: power-law n={n_tp} alpha=2.1 seed=42 ({m} edges)");
+
+    let mut throughput = Vec::new();
+    for machines in MACHINE_COUNTS {
+        let weights = MachineWeights::uniform(machines);
+        for kind in PartitionerKind::ALL {
+            let partitioner = kind.build();
+            let mut wall_s = f64::INFINITY;
+            for _ in 0..reps_tp {
+                let t = Instant::now();
+                let a = partitioner.partition(&tp_graph, &weights);
+                wall_s = wall_s.min(t.elapsed().as_secs_f64());
+                std::hint::black_box(&a);
+            }
+            throughput.push(ThroughputRow {
+                partitioner: kind.name().to_string(),
+                machines,
+                wall_s,
+                edges_per_sec: m as f64 / wall_s,
+            });
+        }
+    }
+    let rows: Vec<Vec<String>> = throughput
+        .iter()
+        .map(|r| {
+            vec![
+                r.partitioner.clone(),
+                r.machines.to_string(),
+                output::f3(r.wall_s),
+                format!("{:.0}", r.edges_per_sec),
+            ]
+        })
+        .collect();
+    output::print_table(&["partitioner", "P", "wall_s", "edges/sec"], &rows);
+
+    let hl_graph = PowerLawConfig::new(n_hl, 2.1).generate(42);
+    let edges = hl_graph.num_edges();
+    println!(
+        "\nheadline fixture: power-law n={n_hl} alpha=2.1 seed=42 ({edges} edges), P=16 uniform"
+    );
+    let weights = MachineWeights::uniform(16);
+    let mut seed_wall_s = f64::INFINITY;
+    let mut fast_wall_s = f64::INFINITY;
+    let mut assignments_identical = true;
+    for _ in 0..reps_hl {
+        // Interleave the two implementations so drift in machine state
+        // (frequency, cache pressure) hits both columns equally.
+        let t = Instant::now();
+        let seed = seed_oblivious(&hl_graph, &weights);
+        seed_wall_s = seed_wall_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let fast = Oblivious::new().partition(&hl_graph, &weights);
+        fast_wall_s = fast_wall_s.min(t.elapsed().as_secs_f64());
+        assignments_identical &= seed.edge_machines() == fast.edge_machines();
+    }
+    assert!(
+        assignments_identical,
+        "fast-path Oblivious diverged from the seed implementation"
+    );
+    let oblivious_speedup = ObliviousSpeedup {
+        vertices: n_hl,
+        edges,
+        machines: 16,
+        reps: reps_hl,
+        seed_wall_s,
+        fast_wall_s,
+        speedup: seed_wall_s / fast_wall_s,
+        assignments_identical,
+    };
+    println!(
+        "oblivious: seed {} s, fast {} s, speedup {:.2}x (assignments identical: {})",
+        output::f3(seed_wall_s),
+        output::f3(fast_wall_s),
+        oblivious_speedup.speedup,
+        assignments_identical
+    );
+
+    let bench = PartitionBench {
+        scale,
+        throughput_vertices: n_tp,
+        throughput_edges: m,
+        throughput,
+        oblivious_speedup,
+        total_wall_s: t0.elapsed().as_secs_f64(),
+    };
+    output::write_json(ctx.out_dir.as_deref(), "BENCH_partition", &bench);
+    bench
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_and_fast_oblivious_agree() {
+        let g = PowerLawConfig::new(4_000, 2.1).generate(7);
+        for p in [3usize, 16, 48] {
+            let w = MachineWeights::uniform(p);
+            let seed = seed_oblivious(&g, &w);
+            let fast = Oblivious::new().partition(&g, &w);
+            assert_eq!(seed.edge_machines(), fast.edge_machines(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn bench_covers_every_partitioner_and_machine_count() {
+        let ctx = ExperimentContext::at_scale(256);
+        let bench = partition(&ctx);
+        assert_eq!(
+            bench.throughput.len(),
+            MACHINE_COUNTS.len() * PartitionerKind::ALL.len()
+        );
+        assert!(bench.oblivious_speedup.assignments_identical);
+        assert!(bench.oblivious_speedup.speedup > 0.0);
+    }
+}

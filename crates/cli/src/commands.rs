@@ -241,8 +241,12 @@ pub fn stats(args: &[String]) -> Result<(), CliError> {
 
 /// `hetgraph partition` — partition a graph file and print quality metrics.
 pub fn partition(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["input", "machines", "algorithm", "weights"])?;
+    let flags = Flags::parse(
+        args,
+        &["input", "machines", "algorithm", "weights", "threads"],
+    )?;
     let g = load_graph(flags.require("input")?)?;
+    let threads = parse_threads(&flags)?;
     let machines: usize = flags.get_or("machines", 4usize)?;
     if machines == 0 || machines > 64 {
         return Err(CliError("--machines must be in 1..=64".into()));
@@ -268,8 +272,8 @@ pub fn partition(args: &[String]) -> Result<(), CliError> {
         "algorithm", "rf", "mirrors", "max_nl", "balance_err"
     );
     for kind in kinds {
-        let a = kind.build().partition(&g, &weights);
-        let m = PartitionMetrics::compute(&a, &weights);
+        let a = kind.build().partition_with_threads(&g, &weights, threads);
+        let m = PartitionMetrics::compute_with_threads(&a, &weights, threads);
         println!(
             "{:10} {:>8.3} {:>10} {:>12.3} {:>13.3}",
             kind.name(),
@@ -347,7 +351,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             )))
         }
     };
-    let assignment = kind.build().partition(&g, &weights);
+    let assignment = kind.build().partition_with_threads(&g, &weights, threads);
     let engine = hetgraph_engine::SimEngine::new(&cluster);
     let report = app.run_with_threads(&engine, &g, &assignment, threads);
     println!("{report}");

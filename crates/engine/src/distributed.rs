@@ -25,13 +25,41 @@ impl<'a> DistributedGraph<'a> {
     /// # Panics
     /// Panics if the assignment does not cover exactly this graph's edges.
     pub fn new(graph: &'a Graph, assignment: &'a PartitionAssignment) -> Self {
+        Self::new_with_threads(graph, assignment, 1)
+    }
+
+    /// [`DistributedGraph::new`] with a host thread budget.
+    ///
+    /// With one thread, a single fused edge pass fills both direction
+    /// arrays at once (one sweep over the edge list instead of two full
+    /// replays). With two or more, the directions build concurrently —
+    /// each direction's array is computed independently, so the result
+    /// is identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if the assignment does not cover exactly this graph's
+    /// edges, or if `host_threads == 0`.
+    pub fn new_with_threads(
+        graph: &'a Graph,
+        assignment: &'a PartitionAssignment,
+        host_threads: usize,
+    ) -> Self {
+        assert!(host_threads > 0, "need at least one host thread");
         assert_eq!(
             assignment.edge_machines().len(),
             graph.num_edges(),
             "assignment must cover the graph"
         );
-        let out_slot_machine = align(graph, assignment, /*by_src=*/ true);
-        let in_slot_machine = align(graph, assignment, /*by_src=*/ false);
+        let (out_slot_machine, in_slot_machine) = if host_threads >= 2 {
+            let mut arrays = hetgraph_core::par::scheduled(2, host_threads, |dir| {
+                align(graph, assignment, /*by_src=*/ dir == 0)
+            });
+            let ins = arrays.pop().expect("two direction arrays");
+            let outs = arrays.pop().expect("two direction arrays");
+            (outs, ins)
+        } else {
+            align_fused(graph, assignment)
+        };
         DistributedGraph {
             graph,
             assignment,
@@ -79,21 +107,47 @@ impl<'a> DistributedGraph<'a> {
 
 /// Replay the CSR counting sort to produce, for each adjacency slot, the
 /// machine of the edge that filled it. Must iterate edges in exactly the
-/// order `Csr::build` does (graph edge order).
+/// order `Csr::build` does (graph edge order). Slots within a vertex are
+/// tracked with a zero-initialized per-vertex counter added to the CSR
+/// offset, so no copy of the offsets array is made.
 fn align(graph: &Graph, assignment: &PartitionAssignment, by_src: bool) -> Vec<u16> {
     let csr = if by_src {
         graph.out_csr()
     } else {
         graph.in_csr()
     };
-    let mut cursor: Vec<usize> = csr.offsets()[..csr.offsets().len() - 1].to_vec();
+    let offsets = csr.offsets();
+    let mut fill = vec![0u32; graph.num_vertices() as usize];
     let mut slot_machine = vec![0u16; graph.num_edges()];
-    for (idx, e) in graph.edges().iter().enumerate() {
+    for (e, &mach) in graph.edges().iter().zip(assignment.edge_machines()) {
         let key = if by_src { e.src } else { e.dst } as usize;
-        slot_machine[cursor[key]] = assignment.edge_machines()[idx];
-        cursor[key] += 1;
+        slot_machine[offsets[key] + fill[key] as usize] = mach;
+        fill[key] += 1;
     }
     slot_machine
+}
+
+/// [`align`] for both directions in one edge pass: each edge lands its
+/// machine in its out-CSR slot (keyed by source) and its in-CSR slot
+/// (keyed by target) in the same iteration, so the edge list, the
+/// assignment, and both fill counters stream through cache once.
+fn align_fused(graph: &Graph, assignment: &PartitionAssignment) -> (Vec<u16>, Vec<u16>) {
+    let n = graph.num_vertices() as usize;
+    let out_offsets = graph.out_csr().offsets();
+    let in_offsets = graph.in_csr().offsets();
+    let mut out_fill = vec![0u32; n];
+    let mut in_fill = vec![0u32; n];
+    let mut out_slot = vec![0u16; graph.num_edges()];
+    let mut in_slot = vec![0u16; graph.num_edges()];
+    for (e, &mach) in graph.edges().iter().zip(assignment.edge_machines()) {
+        let s = e.src as usize;
+        let d = e.dst as usize;
+        out_slot[out_offsets[s] + out_fill[s] as usize] = mach;
+        out_fill[s] += 1;
+        in_slot[in_offsets[d] + in_fill[d] as usize] = mach;
+        in_fill[d] += 1;
+    }
+    (out_slot, in_slot)
 }
 
 #[cfg(test)]
@@ -170,6 +224,20 @@ mod tests {
         let mut sorted = machines.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn fused_and_threaded_builds_agree() {
+        // The fused single-pass build (1 thread) and the per-direction
+        // parallel build (2+ threads) must produce identical slot arrays.
+        let (g, ms) = setup();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
+        let serial = DistributedGraph::new(&g, &a);
+        for threads in [2, 4] {
+            let par = DistributedGraph::new_with_threads(&g, &a, threads);
+            assert_eq!(serial.out_slot_machine, par.out_slot_machine);
+            assert_eq!(serial.in_slot_machine, par.in_slot_machine);
+        }
     }
 
     #[test]

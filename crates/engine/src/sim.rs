@@ -196,7 +196,7 @@ impl<'a> SimEngine<'a> {
         program: &P,
         host_threads: usize,
     ) -> SimOutcome<P::VertexData> {
-        let dist = DistributedGraph::new(graph, assignment);
+        let dist = DistributedGraph::new_with_threads(graph, assignment, host_threads);
         self.run_on_with_threads(&dist, program, host_threads)
     }
 

@@ -79,13 +79,9 @@ impl PowerLawConfig {
         let mut rng = Xoshiro256::new(seed);
 
         // Steps 1–2: pdf[i] = i^-α, transformed to a cdf. Index 0 of the
-        // table corresponds to degree 1.
-        let mut cdf = Vec::with_capacity(d_max);
-        let mut acc = 0.0f64;
-        for d in 1..=d_max {
-            acc += (-(self.alpha) * (d as f64).ln()).exp();
-            cdf.push(acc);
-        }
+        // table corresponds to degree 1. The table only depends on
+        // (α, d_max) — not the seed — so multi-seed sweeps share it.
+        let cdf = cdf_table(self.alpha, d_max);
 
         let expected = self.expected_edges();
         let mut list = EdgeList::with_capacity(n, expected as usize + 16);
@@ -123,6 +119,41 @@ impl PowerLawConfig {
     }
 }
 
+/// The degree cdf for `(α, d_max)`, memoized process-wide.
+///
+/// Sweeps generate the same configuration under many seeds (ensemble
+/// averages, the partition snapshot fixtures, the experiment matrix), and
+/// the O(d_max) `exp`/`ln` table is seed-independent, so it is computed
+/// once per distinct `(α, d_max)` pair and shared. α is keyed by its bit
+/// pattern: configurations compare by exact f64 value everywhere else
+/// too. The cache grows by one `Vec<f64>` (≤ 100 000 entries, the support
+/// cap) per distinct configuration, which is bounded by the handful of α
+/// values an experiment matrix uses.
+fn cdf_table(alpha: f64, d_max: usize) -> std::sync::Arc<Vec<f64>> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    type Cache = Mutex<HashMap<(u64, usize), Arc<Vec<f64>>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let cache = CACHE.get_or_init(Mutex::default);
+    if let Some(table) = cache.lock().unwrap().get(&(alpha.to_bits(), d_max)) {
+        return Arc::clone(table);
+    }
+    // Build outside the lock: a racing thread at worst recomputes the
+    // same table, and the insert below keeps whichever lands last.
+    let mut cdf = Vec::with_capacity(d_max);
+    let mut acc = 0.0f64;
+    for d in 1..=d_max {
+        acc += (-alpha * (d as f64).ln()).exp();
+        cdf.push(acc);
+    }
+    let table = Arc::new(cdf);
+    cache
+        .lock()
+        .unwrap()
+        .insert((alpha.to_bits(), d_max), Arc::clone(&table));
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +165,21 @@ mod tests {
         let a = cfg.generate(7);
         let b = cfg.generate(7);
         assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn cdf_table_shared_across_seeds() {
+        // Same (α, d_max) → same memoized allocation; different α → a
+        // different table with different mass.
+        let a = cdf_table(2.17, 500);
+        let b = cdf_table(2.17, 500);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        let c = cdf_table(1.97, 500);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_ne!(a.last(), c.last());
+        let d = cdf_table(2.17, 400);
+        assert_eq!(d.len(), 400);
+        assert!(!std::sync::Arc::ptr_eq(&a, &d));
     }
 
     #[test]

@@ -30,11 +30,27 @@ impl PartitionAssignment {
     /// Panics if lengths mismatch, `num_machines` is 0 or > 64, or any
     /// edge's machine is out of range.
     pub fn from_edge_machines(graph: &Graph, num_machines: usize, edge_machine: Vec<u16>) -> Self {
+        Self::from_edge_machines_with_threads(graph, num_machines, edge_machine, 1)
+    }
+
+    /// [`PartitionAssignment::from_edge_machines`] with a host thread
+    /// budget: the per-vertex master-selection pass fans out in
+    /// index-deterministic chunks (identical structure at any thread
+    /// count). The replica-mask accumulation stays serial — it is two ORs
+    /// per edge against vertex-indexed state.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch, `num_machines` is 0 or > 64,
+    /// `host_threads == 0`, or any edge's machine is out of range.
+    pub fn from_edge_machines_with_threads(
+        graph: &Graph,
+        num_machines: usize,
+        edge_machine: Vec<u16>,
+        host_threads: usize,
+    ) -> Self {
         assert!(num_machines >= 1, "need at least one machine");
-        assert!(
-            num_machines <= 64,
-            "at most 64 machines (replica masks are u64)"
-        );
+        crate::weights::assert_bitmask_capacity(num_machines);
+        assert!(host_threads > 0, "need at least one host thread");
         assert_eq!(
             edge_machine.len(),
             graph.num_edges(),
@@ -53,22 +69,67 @@ impl PartitionAssignment {
             replica_mask[e.dst as usize] |= 1u64 << m;
             edges_per_machine[m as usize] += 1;
         }
+        Self::from_parts(
+            num_machines,
+            edge_machine,
+            replica_mask,
+            edges_per_machine,
+            host_threads,
+        )
+    }
 
+    /// Assemble an assignment from state a streaming partitioner already
+    /// holds: the per-edge machines, the replica bit masks it accumulated
+    /// while assigning, and the per-machine edge counts. Skips the O(E)
+    /// replay that [`PartitionAssignment::from_edge_machines`] would do —
+    /// only the per-vertex master selection remains. Debug builds verify
+    /// the handed-over state is consistent with `edge_machine`.
+    ///
+    /// # Panics
+    /// Panics if `num_machines` is 0 or > 64, `host_threads == 0`, or the
+    /// machine-count-indexed vector has the wrong length.
+    pub(crate) fn from_parts(
+        num_machines: usize,
+        edge_machine: Vec<u16>,
+        replica_mask: Vec<u64>,
+        edges_per_machine: Vec<usize>,
+        host_threads: usize,
+    ) -> Self {
+        assert!(num_machines >= 1, "need at least one machine");
+        crate::weights::assert_bitmask_capacity(num_machines);
+        assert!(host_threads > 0, "need at least one host thread");
+        assert_eq!(
+            edges_per_machine.len(),
+            num_machines,
+            "one edge count per machine"
+        );
+        debug_assert_eq!(
+            edges_per_machine,
+            {
+                let mut counts = vec![0usize; num_machines];
+                for &m in &edge_machine {
+                    counts[m as usize] += 1;
+                }
+                counts
+            },
+            "edge counts must match the per-edge machines"
+        );
+
+        let n = replica_mask.len();
         // Master selection: deterministic hash-based pick among the
         // replicas (PowerGraph picks pseudo-randomly). Isolated vertices
-        // hash onto any machine.
-        let mut master = vec![0u16; n];
-        for v in 0..n {
+        // hash onto any machine. Pure per vertex, so threadable.
+        let master: Vec<u16> = crate::chunk::chunked_map(n, host_threads, |v| {
             let mask = replica_mask[v];
             let h = hash64(v as u64 ^ 0x6d61_7374_6572_2121);
-            master[v] = if mask == 0 {
+            if mask == 0 {
                 (h % num_machines as u64) as u16
             } else {
                 let count = mask.count_ones() as u64;
                 let k = (h % count) as u32;
                 nth_set_bit(mask, k) as u16
-            };
-        }
+            }
+        });
 
         PartitionAssignment {
             num_machines,
@@ -127,30 +188,58 @@ impl PartitionAssignment {
 
     /// Total mirrors: `Σ_v max(replicas(v) − 1, 0)`.
     pub fn total_mirrors(&self) -> u64 {
-        self.replica_mask
-            .iter()
-            .map(|m| (m.count_ones() as u64).saturating_sub(1))
-            .sum()
+        self.replication_summary_with_threads(1).2
     }
 
     /// Replication factor: average replicas per vertex *that has edges*
     /// (PowerGraph's λ). 1.0 is the ideal (no vertex split across
     /// machines); `num_machines` is the worst case.
     pub fn replication_factor(&self) -> f64 {
-        let mut total = 0u64;
-        let mut covered = 0u64;
-        for &m in &self.replica_mask {
-            let c = m.count_ones() as u64;
-            if c > 0 {
-                total += c;
-                covered += 1;
-            }
-        }
+        let (total, covered, _) = self.replication_summary_with_threads(1);
         if covered == 0 {
             1.0
         } else {
             total as f64 / covered as f64
         }
+    }
+
+    /// One pass over the replica masks, fanned out over `host_threads` in
+    /// index-deterministic chunks: `(total replicas over covered vertices,
+    /// covered vertex count, total mirrors)`. Integer partial sums make
+    /// the reduction exact — and therefore identical — at any thread
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn replication_summary_with_threads(&self, host_threads: usize) -> (u64, u64, u64) {
+        assert!(host_threads > 0, "need at least one host thread");
+        let reduce_range = |masks: &[u64]| {
+            let mut total = 0u64;
+            let mut covered = 0u64;
+            let mut mirrors = 0u64;
+            for &m in masks {
+                let c = m.count_ones() as u64;
+                if c > 0 {
+                    total += c;
+                    covered += 1;
+                    mirrors += c - 1;
+                }
+            }
+            (total, covered, mirrors)
+        };
+        let n = self.replica_mask.len();
+        if host_threads == 1 || n <= crate::chunk::CHUNK {
+            return reduce_range(&self.replica_mask);
+        }
+        let tasks = n.div_ceil(crate::chunk::CHUNK);
+        let partials = hetgraph_core::par::scheduled(tasks, host_threads, |t| {
+            let lo = t * crate::chunk::CHUNK;
+            let hi = (lo + crate::chunk::CHUNK).min(n);
+            reduce_range(&self.replica_mask[lo..hi])
+        });
+        partials
+            .into_iter()
+            .fold((0, 0, 0), |acc, x| (acc.0 + x.0, acc.1 + x.1, acc.2 + x.2))
     }
 
     /// Mirror count per machine (replicas that are not the master).
@@ -281,6 +370,13 @@ mod tests {
     fn wrong_length_panics() {
         let g = graph();
         PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitmask capacity")]
+    fn over_capacity_machine_count_panics() {
+        let g = graph();
+        PartitionAssignment::from_edge_machines(&g, 65, vec![0; g.num_edges()]);
     }
 
     #[test]

@@ -19,9 +19,9 @@
 use hetgraph_core::Graph;
 
 use crate::assignment::PartitionAssignment;
-use crate::hybrid::{vertex_pick, DEFAULT_THRESHOLD, SOURCE_SALT, TARGET_SALT};
+use crate::hybrid::{pick_table, DEFAULT_THRESHOLD, SOURCE_SALT, TARGET_SALT};
 use crate::traits::Partitioner;
-use crate::weights::MachineWeights;
+use crate::weights::{assert_bitmask_capacity, MachineWeights};
 
 /// Ginger mixed-cut partitioner.
 #[derive(Debug, Clone)]
@@ -64,14 +64,24 @@ impl Partitioner for Ginger {
     }
 
     fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment {
+        self.partition_with_threads(graph, weights, 1)
+    }
+
+    fn partition_with_threads(
+        &self,
+        graph: &Graph,
+        weights: &MachineWeights,
+        host_threads: usize,
+    ) -> PartitionAssignment {
+        assert!(host_threads > 0, "need at least one host thread");
         let p = weights.len();
+        assert_bitmask_capacity(p);
         let n = graph.num_vertices() as usize;
         let gamma = self.gamma.unwrap_or_else(|| graph.avg_degree().max(1.0));
 
-        // Initial homes: the Hybrid phase-1 target hash.
-        let mut home: Vec<u16> = (0..n as u32)
-            .map(|v| vertex_pick(weights, v, TARGET_SALT))
-            .collect();
+        // Initial homes: the Hybrid phase-1 target hash, computed once per
+        // vertex (threaded pick table).
+        let mut home: Vec<u16> = pick_table(weights, n, TARGET_SALT, host_threads);
 
         // Running load accounting for the balance term: vertices and
         // in-edge bundles currently homed per machine.
@@ -83,6 +93,18 @@ impl Partitioner for Ginger {
         }
         let total_verts: f64 = n as f64;
         let total_edges: f64 = graph.num_edges() as f64 + 1.0;
+        // Loop invariants of the scoring scan, hoisted: the uniform
+        // vertex/edge shares and the per-machine heterogeneity pressure
+        // `(1/(w·p)) · γ`. Each is the exact division/product expression
+        // of the original per-iteration code, so scores stay
+        // bit-identical.
+        let vert_share = total_verts / p as f64;
+        let edge_share = total_edges / p as f64;
+        let het_gamma: Vec<f64> = weights
+            .as_slice()
+            .iter()
+            .map(|&w| (1.0 / (w * p as f64)) * gamma)
+            .collect();
 
         // One streaming sweep over low-degree vertices, greedily re-homing
         // each by score. High-degree vertices keep hash homes (their
@@ -107,18 +129,16 @@ impl Partitioner for Ginger {
             let mut best = old;
             let mut best_score = f64::NEG_INFINITY;
             for i in 0..p {
-                let w = weights.as_slice()[i];
                 // b(i): how full machine i is relative to a uniform share,
                 // over both vertices and edges (the paper: "considers both
                 // vertices and edges located on machine p").
                 let b = 0.5
-                    * ((vert_load[i] + 1.0) / (total_verts / p as f64)
-                        + (edge_load[i] + in_deg as f64) / (total_edges / p as f64));
+                    * ((vert_load[i] + 1.0) / vert_share
+                        + (edge_load[i] + in_deg as f64) / edge_share);
                 // Heterogeneity factor 1/ccr_i, with ccr expressed as the
                 // normalized weight times p (so a homogeneous cluster has
                 // factor exactly 1 and reduces to plain Fennel/Ginger).
-                let het = 1.0 / (w * p as f64);
-                let score = overlap[i] - het * gamma * b;
+                let score = overlap[i] - het_gamma[i] * b;
                 if score > best_score {
                     best_score = score;
                     best = i;
@@ -130,19 +150,19 @@ impl Partitioner for Ginger {
         }
 
         // Materialize edge assignment: low-degree targets pull their
-        // in-edges to their home; high-degree targets spread by source.
-        let assignment: Vec<u16> = graph
-            .edges()
-            .iter()
-            .map(|e| {
-                if graph.in_degree(e.dst) > self.threshold {
-                    vertex_pick(weights, e.src, SOURCE_SALT)
-                } else {
-                    home[e.dst as usize]
-                }
-            })
-            .collect();
-        PartitionAssignment::from_edge_machines(graph, p, assignment)
+        // in-edges to their home; high-degree targets spread by source
+        // (precomputed pick table, threaded chunked map).
+        let src_pick = pick_table(weights, n, SOURCE_SALT, host_threads);
+        let edges = graph.edges();
+        let assignment: Vec<u16> = crate::chunk::chunked_map(edges.len(), host_threads, |i| {
+            let e = &edges[i];
+            if graph.in_degree(e.dst) > self.threshold {
+                src_pick[e.src as usize]
+            } else {
+                home[e.dst as usize]
+            }
+        });
+        PartitionAssignment::from_edge_machines_with_threads(graph, p, assignment, host_threads)
     }
 }
 

@@ -19,8 +19,9 @@ use hetgraph_core::rng::{hash64, hash_combine};
 use hetgraph_core::{Graph, MachineId};
 
 use crate::assignment::PartitionAssignment;
+use crate::chunk::chunked_map;
 use crate::traits::Partitioner;
-use crate::weights::MachineWeights;
+use crate::weights::{assert_bitmask_capacity, MachineWeights};
 
 /// Constrained grid partitioner.
 #[derive(Debug, Clone, Default)]
@@ -82,25 +83,48 @@ impl Partitioner for Grid {
     }
 
     fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment {
+        self.partition_with_threads(graph, weights, 1)
+    }
+
+    fn partition_with_threads(
+        &self,
+        graph: &Graph,
+        weights: &MachineWeights,
+        host_threads: usize,
+    ) -> PartitionAssignment {
+        assert!(host_threads > 0, "need at least one host thread");
         let p = weights.len();
+        assert_bitmask_capacity(p);
+        let ws = weights.as_slice();
         let (r, c) = grid_dims(p);
 
         // Precompute every machine's constraint set.
         let constraints: Vec<u64> = (0..p).map(|m| constraint_set(m, p, r, c)).collect();
 
-        // Vertex home machines via the weighted hash (the
-        // heterogeneity-aware "each shard has its weight" step).
-        let home = |v: u32| -> usize {
-            weights
+        // Per-vertex constraint masks via the weighted home hash (the
+        // heterogeneity-aware "each shard has its weight" step), hashed
+        // once per vertex instead of once per edge endpoint. Pure per
+        // vertex, so the chunked fan-out keeps the table byte-identical
+        // at any thread count.
+        let n = graph.num_vertices() as usize;
+        let vertex_mask: Vec<u64> = chunked_map(n, host_threads, |v| {
+            constraints[weights
                 .pick(hash64(hash_combine(v as u64, 0x6772_6964)))
-                .index()
-        };
+                .index()]
+        });
 
+        // The placement loop stays serial — each choice depends on the
+        // loads left by every previous edge — but the normalized loads are
+        // cached and recomputed (same division expression as
+        // `MachineWeights::normalized_load`) only for the chosen machine,
+        // and the candidate scan mirrors `MachineWeights::least_loaded`
+        // bit-for-bit: ascending machine id, `<` with low-id tie-break.
         let mut loads = vec![0f64; p];
+        let mut nl: Vec<f64> = (0..p).map(|i| loads[i] / ws[i]).collect();
         let mut assignment = Vec::with_capacity(graph.num_edges());
         for e in graph.edges() {
-            let su = constraints[home(e.src)];
-            let sv = constraints[home(e.dst)];
+            let su = vertex_mask[e.src as usize];
+            let sv = vertex_mask[e.dst as usize];
             let inter = su & sv;
             // A full grid always intersects (the corner cells); a partial
             // last row can make the intersection empty — fall back to the
@@ -112,11 +136,23 @@ impl Partitioner for Grid {
             } else {
                 (1u64 << p) - 1
             };
-            let chosen = weights.least_loaded(&loads, mask_machines(candidates));
-            loads[chosen.index()] += 1.0;
-            assignment.push(chosen.0);
+            let mut chosen = usize::MAX;
+            let mut best = f64::INFINITY;
+            for m in mask_machines(candidates) {
+                // Finite normalized loads, ascending ids: strict `<` keeps
+                // the lowest id on ties, exactly like `least_loaded`.
+                let v = nl[m.index()];
+                if v < best {
+                    best = v;
+                    chosen = m.index();
+                }
+            }
+            debug_assert!(chosen != usize::MAX, "candidate mask was empty");
+            loads[chosen] += 1.0;
+            nl[chosen] = loads[chosen] / ws[chosen];
+            assignment.push(chosen as u16);
         }
-        PartitionAssignment::from_edge_machines(graph, p, assignment)
+        PartitionAssignment::from_edge_machines_with_threads(graph, p, assignment, host_threads)
     }
 }
 

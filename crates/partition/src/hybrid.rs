@@ -19,8 +19,9 @@ use hetgraph_core::rng::{hash64, hash_combine};
 use hetgraph_core::Graph;
 
 use crate::assignment::PartitionAssignment;
+use crate::chunk::chunked_map;
 use crate::traits::Partitioner;
-use crate::weights::MachineWeights;
+use crate::weights::{assert_bitmask_capacity, MachineWeights};
 
 /// Default high-degree threshold (PowerLyra's default).
 pub const DEFAULT_THRESHOLD: usize = 100;
@@ -66,27 +67,56 @@ pub(crate) fn vertex_pick(weights: &MachineWeights, v: u32, salt: u64) -> u16 {
     weights.pick(hash64(hash_combine(v as u64, salt))).0
 }
 
+/// Per-vertex pick table for `salt`, computed once so the per-edge loop is
+/// two array lookups instead of two hash-plus-threshold scans. Pure per
+/// vertex, so the chunked fan-out is byte-identical at any thread count.
+pub(crate) fn pick_table(
+    weights: &MachineWeights,
+    n: usize,
+    salt: u64,
+    host_threads: usize,
+) -> Vec<u16> {
+    chunked_map(n, host_threads, |v| vertex_pick(weights, v as u32, salt))
+}
+
 impl Partitioner for Hybrid {
     fn name(&self) -> &'static str {
         "hybrid"
     }
 
     fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment {
-        let assignment: Vec<u16> = graph
-            .edges()
-            .iter()
-            .map(|e| {
-                // Phase 1 + 2 fused: the in-degree is available from the
-                // already-built in-CSR, which is exactly the information
-                // the streaming system has after its first pass.
-                if graph.in_degree(e.dst) > self.threshold {
-                    vertex_pick(weights, e.src, SOURCE_SALT)
-                } else {
-                    vertex_pick(weights, e.dst, TARGET_SALT)
-                }
-            })
-            .collect();
-        PartitionAssignment::from_edge_machines(graph, weights.len(), assignment)
+        self.partition_with_threads(graph, weights, 1)
+    }
+
+    fn partition_with_threads(
+        &self,
+        graph: &Graph,
+        weights: &MachineWeights,
+        host_threads: usize,
+    ) -> PartitionAssignment {
+        assert!(host_threads > 0, "need at least one host thread");
+        assert_bitmask_capacity(weights.len());
+        let n = graph.num_vertices() as usize;
+        let src_pick = pick_table(weights, n, SOURCE_SALT, host_threads);
+        let dst_pick = pick_table(weights, n, TARGET_SALT, host_threads);
+        let edges = graph.edges();
+        let assignment: Vec<u16> = chunked_map(edges.len(), host_threads, |i| {
+            let e = &edges[i];
+            // Phase 1 + 2 fused: the in-degree is available from the
+            // already-built in-CSR, which is exactly the information
+            // the streaming system has after its first pass.
+            if graph.in_degree(e.dst) > self.threshold {
+                src_pick[e.src as usize]
+            } else {
+                dst_pick[e.dst as usize]
+            }
+        });
+        PartitionAssignment::from_edge_machines_with_threads(
+            graph,
+            weights.len(),
+            assignment,
+            host_threads,
+        )
     }
 }
 

@@ -27,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod assignment;
+pub(crate) mod chunk;
 pub mod ginger;
 pub mod grid;
 pub mod hybrid;
@@ -44,4 +45,4 @@ pub use metrics::PartitionMetrics;
 pub use oblivious::Oblivious;
 pub use random_hash::RandomHash;
 pub use traits::{Partitioner, PartitionerKind};
-pub use weights::MachineWeights;
+pub use weights::{assert_bitmask_capacity, MachineWeights, MAX_MACHINES};

@@ -26,6 +26,21 @@ impl PartitionMetrics {
     /// # Panics
     /// Panics if machine counts mismatch.
     pub fn compute(assignment: &PartitionAssignment, weights: &MachineWeights) -> Self {
+        Self::compute_with_threads(assignment, weights, 1)
+    }
+
+    /// [`PartitionMetrics::compute`] with a host thread budget: the
+    /// replica-mask reduction (the only O(vertices) pass here) fans out
+    /// over index-deterministic chunks with integer partial sums, so the
+    /// metrics are identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if machine counts mismatch or `host_threads == 0`.
+    pub fn compute_with_threads(
+        assignment: &PartitionAssignment,
+        weights: &MachineWeights,
+        host_threads: usize,
+    ) -> Self {
         assert_eq!(
             assignment.num_machines(),
             weights.len(),
@@ -39,9 +54,15 @@ impl PartitionMetrics {
             max_norm = max_norm.max(s / w);
             max_err = max_err.max((s - w).abs() / w);
         }
+        let (total, covered, mirrors) = assignment.replication_summary_with_threads(host_threads);
+        let replication_factor = if covered == 0 {
+            1.0
+        } else {
+            total as f64 / covered as f64
+        };
         PartitionMetrics {
-            replication_factor: assignment.replication_factor(),
-            total_mirrors: assignment.total_mirrors(),
+            replication_factor,
+            total_mirrors: mirrors,
             edge_shares: shares,
             max_normalized_load: max_norm,
             weighted_balance_error: max_err,

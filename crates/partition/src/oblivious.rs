@@ -23,7 +23,30 @@ use hetgraph_core::Graph;
 
 use crate::assignment::PartitionAssignment;
 use crate::traits::Partitioner;
-use crate::weights::MachineWeights;
+use crate::weights::{assert_bitmask_capacity, MachineWeights};
+
+/// `f64::max` restricted to non-NaN inputs: the bare compare-select maps
+/// to a single `maxsd`, where `f64::max` pays a 7-instruction NaN-
+/// propagation sequence. Scores and normalized loads are always finite
+/// (never NaN), so the value is identical.
+#[inline(always)]
+fn fmax(a: f64, b: f64) -> f64 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Non-NaN `f64::min`; see [`fmax`].
+#[inline(always)]
+fn fmin(a: f64, b: f64) -> f64 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
 
 /// Greedy history-based partitioner.
 #[derive(Debug, Clone, Default)]
@@ -43,55 +66,328 @@ impl Partitioner for Oblivious {
 
     fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment {
         let p = weights.len();
+        assert_bitmask_capacity(p);
         let n = graph.num_vertices() as usize;
-        let mut replicas = vec![0u64; n]; // running replica sets
-        let mut loads = vec![0f64; p]; // raw edge counts per machine
-        let mut assignment = Vec::with_capacity(graph.num_edges());
+        let mut assignment: Vec<u16> = Vec::with_capacity(graph.num_edges());
 
-        for e in graph.edges() {
-            let mu = replicas[e.src as usize];
-            let mv = replicas[e.dst as usize];
-            // Normalized loads bound the balance term.
-            let mut min_nl = f64::INFINITY;
-            let mut max_nl = f64::NEG_INFINITY;
-            for (i, load) in loads.iter().enumerate().take(p) {
-                let nl = load / weights.as_slice()[i];
-                min_nl = min_nl.min(nl);
-                max_nl = max_nl.max(nl);
-            }
-            let range = max_nl - min_nl;
-
-            let mut best_score = f64::NEG_INFINITY;
-            let mut best: Vec<u16> = Vec::with_capacity(2);
-            for (i, load) in loads.iter().enumerate().take(p) {
-                let nl = load / weights.as_slice()[i];
-                // bal ∈ [0, 1]: exactly 1 for the least-loaded machine(s) so
-                // that "empty machine" ties "machine with one endpoint" and
-                // the hash tie-break lets hubs spread (PowerGraph breaks
-                // these ties randomly for the same reason).
-                let bal = if range <= f64::EPSILON {
-                    1.0
-                } else {
-                    (max_nl - nl) / range
-                };
-                let locality = ((mu >> i) & 1) as f64 + ((mv >> i) & 1) as f64;
-                let score = bal + locality;
-                if score > best_score + 1e-9 {
-                    best_score = score;
-                    best.clear();
-                    best.push(i as u16);
-                } else if (score - best_score).abs() <= 1e-9 {
-                    best.push(i as u16);
-                }
-            }
-            // Unbiased deterministic tie-break: hash of the edge.
-            let chosen = best[(hash64(e.key()) % best.len() as u64) as usize];
-            replicas[e.src as usize] |= 1u64 << chosen;
-            replicas[e.dst as usize] |= 1u64 << chosen;
-            loads[chosen as usize] += 1.0;
-            assignment.push(chosen);
+        // Streaming fast path. The reference loop recomputes every
+        // machine's normalized load `load / weight`, its min/max, and the
+        // balance term `(max_nl - nl) / range` for all `p` machines on
+        // every edge. This implementation produces byte-identical
+        // assignments with far less work per edge:
+        //
+        // * `nl[i] = loads[i] / ws[i]` changes for exactly one machine per
+        //   edge, so it is cached and recomputed — with the same division
+        //   expression, keeping every value bit-identical — only for the
+        //   chosen machine. The balance terms `bal[i] = (max_nl - nl[i]) /
+        //   range` are likewise cached: loads only grow, so the max is a
+        //   one-comparison update, the min needs a rescan only when the
+        //   bitmask of minimum holders empties, and `bal` is refreshed in
+        //   full only when the min or max actually moves (a few percent of
+        //   edges) — otherwise only the chosen machine's entry changes.
+        // * The scoring scan is split into two branchless, auto-
+        //   vectorizable passes (score fill + running max, then a
+        //   ≥ threshold filter mask) feeding the reference's sequential
+        //   tie logic with only the machines within 2e-9 of the max —
+        //   usually exactly one. This preserves the reference tie lists:
+        //   the reference running best `B` ends at `B = s_{i*} ≥ max_i s_i
+        //   − 1e-9` (a machine can only fail to raise the running best to
+        //   its own score if it is within 1e-9 of it), and its final list
+        //   is `{i*} ∪ {i > i* : |s_i − B| ≤ 1e-9}`. Machines below
+        //   `max − 2e-9` are therefore below `B − 1e-9`: they can neither
+        //   update the running best after `i*`, nor survive the clear at
+        //   `i*`, nor append afterwards — dropping them before the tie
+        //   logic leaves its result unchanged, while `i*` itself (with
+        //   `s = B`) always survives the filter.
+        //
+        // Fixed 64-wide arrays (the replica masks cap `p` at 64) let the
+        // `& 63` index masking elide bounds checks in the tie loop.
+        let ws = weights.as_slice();
+        let mut weight = [1f64; 64];
+        weight[..p].copy_from_slice(ws);
+        let mut loads = [0f64; 64]; // raw edge counts per machine
+        let mut nl = [0f64; 64];
+        for i in 0..p {
+            nl[i] = loads[i] / weight[i];
         }
-        PartitionAssignment::from_edge_machines(graph, p, assignment)
+        // The scoring pass reads `baltab[loc * 64 + i] = bal(i) + loc` for
+        // integer locality `loc ∈ {0, 1, 2}` — pre-adding the three
+        // possible locality terms to the cached balance values replaces
+        // two int→float conversions and two additions per lane with one
+        // indexed load. `bal + 0.0`, `bal + 1.0`, `bal + 2.0` are the
+        // exact sums the reference computes (its locality is
+        // `0.0/1.0/2.0` exactly), so scores stay bit-identical. The table
+        // is 256 wide so `(loc << 6) | lane` provably stays in bounds.
+        //
+        // Initial state: every load is 0, so min = max = 0, every machine
+        // holds the minimum, the range is flat, and every balance term is
+        // exactly 1. Padding lanes `p..` hold 0.0 in the loc-0 plane (the
+        // only one they ever select, as no replica mask has bits >= p);
+        // they can never win: some machine always holds the minimum with
+        // `bal = 1`, so `max score >= 1` and the filter threshold stays
+        // above `1 - 2e-9 > 0`.
+        let mut baltab = [0f64; 256];
+        for i in 0..p {
+            baltab[i] = 1.0;
+            baltab[64 + i] = 2.0;
+            baltab[128 + i] = 3.0;
+        }
+        let p4 = (p + 3) & !3;
+        let mut min_nl = 0.0f64;
+        let mut max_nl = 0.0f64;
+        let mut min_mask: u64 = if p == 64 { !0 } else { (1u64 << p) - 1 };
+        let mut score = [0f64; 64];
+        let mut best = [0u16; 64]; // reusable tie-list scratch
+
+        // Refresh the cached balance terms after `min_nl`/`max_nl` moved.
+        // `bal` is exactly 1 for the least-loaded machine(s) so that
+        // "empty machine" ties "machine with one endpoint" and the hash
+        // tie-break lets hubs spread (PowerGraph breaks these ties
+        // randomly for the same reason).
+        macro_rules! set_bal {
+            ($i:expr, $v:expr) => {{
+                let b = $v;
+                baltab[$i] = b;
+                baltab[64 + $i] = b + 1.0;
+                baltab[128 + $i] = b + 2.0;
+            }};
+        }
+        macro_rules! refresh_bal {
+            () => {{
+                let range = max_nl - min_nl;
+                if range <= f64::EPSILON {
+                    for i in 0..p {
+                        set_bal!(i, 1.0);
+                    }
+                } else {
+                    for i in 0..p {
+                        set_bal!(i, (max_nl - nl[i]) / range);
+                    }
+                }
+            }};
+        }
+
+        // The replica array is the loop's only random-access state: two
+        // loads and two read-modify-write stores per edge, at
+        // hash-scattered vertex indices. Monomorphizing its integer width
+        // to the smallest type that holds `p` bits shrinks the working set
+        // (4x for p <= 16), keeping it cache-resident on graphs where the
+        // full u64 array would thrash.
+        macro_rules! stream {
+            ($mask:ty) => {{
+                let mut replicas = vec![0 as $mask; n]; // running replica sets
+                let edges = graph.edges();
+                let m = edges.len();
+                for t in 0..m {
+                    let e = &edges[t];
+                    // Software prefetch: touch the replica entries a few
+                    // edges ahead so their (hash-scattered) cache lines and
+                    // TLB entries are resolved before the dependent scoring
+                    // chain needs them. `black_box` keeps the otherwise
+                    // dead loads alive; the values are discarded, so
+                    // assignments are unaffected.
+                    let pf = &edges[(t + 8).min(m - 1)];
+                    std::hint::black_box(replicas[pf.src as usize]);
+                    std::hint::black_box(replicas[pf.dst as usize]);
+                    let mu = replicas[e.src as usize] as u64;
+                    let mv = replicas[e.dst as usize] as u64;
+
+                    // Pass 1 (branchless): scores from the locality-offset
+                    // balance table, with running max, argmax, and second
+                    // max. Four independent accumulator sets over the
+                    // padded width break the serial `maxsd` latency chain;
+                    // max over a set is order-independent for non-NaN
+                    // inputs, so the combined value is bit-identical to a
+                    // sequential fold. Strict `>` updates keep each
+                    // accumulator's argmax at the first lane attaining its
+                    // max, and a second-max that ties the max (exactly)
+                    // routes to the slow path below, so the fast path only
+                    // ever fires with a globally unique argmax.
+                    let mut m0 = f64::NEG_INFINITY;
+                    let mut m1 = f64::NEG_INFINITY;
+                    let mut m2 = f64::NEG_INFINITY;
+                    let mut m3 = f64::NEG_INFINITY;
+                    let mut b0 = f64::NEG_INFINITY;
+                    let mut b1 = f64::NEG_INFINITY;
+                    let mut b2 = f64::NEG_INFINITY;
+                    let mut b3 = f64::NEG_INFINITY;
+                    let mut a0 = 0usize;
+                    let mut a1 = 0usize;
+                    let mut a2 = 0usize;
+                    let mut a3 = 0usize;
+                    let mut i = 0usize;
+                    while i < p4 {
+                        let j0 = i & 63;
+                        let j1 = (i + 1) & 63;
+                        let j2 = (i + 2) & 63;
+                        let j3 = (i + 3) & 63;
+                        let l0 = (((mu >> j0) & 1) + ((mv >> j0) & 1)) as usize;
+                        let l1 = (((mu >> j1) & 1) + ((mv >> j1) & 1)) as usize;
+                        let l2 = (((mu >> j2) & 1) + ((mv >> j2) & 1)) as usize;
+                        let l3 = (((mu >> j3) & 1) + ((mv >> j3) & 1)) as usize;
+                        let s0 = baltab[((l0 << 6) | j0) & 255];
+                        let s1 = baltab[((l1 << 6) | j1) & 255];
+                        let s2 = baltab[((l2 << 6) | j2) & 255];
+                        let s3 = baltab[((l3 << 6) | j3) & 255];
+                        score[j0] = s0;
+                        score[j1] = s1;
+                        score[j2] = s2;
+                        score[j3] = s3;
+                        // Two-max recurrence without data-dependent
+                        // branches: the new second-best is
+                        // `max(second, min(s, best_old))` — `min(s, best)`
+                        // is whichever of the incoming score and the old
+                        // best loses, exactly the value displaced into
+                        // second place.
+                        b0 = fmax(b0, fmin(s0, m0));
+                        b1 = fmax(b1, fmin(s1, m1));
+                        b2 = fmax(b2, fmin(s2, m2));
+                        b3 = fmax(b3, fmin(s3, m3));
+                        a0 = if s0 > m0 { j0 } else { a0 };
+                        a1 = if s1 > m1 { j1 } else { a1 };
+                        a2 = if s2 > m2 { j2 } else { a2 };
+                        a3 = if s3 > m3 { j3 } else { a3 };
+                        m0 = fmax(m0, s0);
+                        m1 = fmax(m1, s1);
+                        m2 = fmax(m2, s2);
+                        m3 = fmax(m3, s3);
+                        i += 4;
+                    }
+                    // Combine the four accumulator sets. An exact cross-
+                    // accumulator tie leaves `mx2 == mx`, forcing the slow
+                    // path, so `ax` is only consumed when it is the unique
+                    // global argmax.
+                    let mut mx = m0;
+                    let mut ax = a0;
+                    let mut mx2 = b0;
+                    if m1 > mx {
+                        mx2 = fmax(mx, b1);
+                        mx = m1;
+                        ax = a1;
+                    } else {
+                        mx2 = fmax(mx2, m1);
+                    }
+                    if m2 > mx {
+                        mx2 = fmax(mx, b2);
+                        mx = m2;
+                        ax = a2;
+                    } else {
+                        mx2 = fmax(mx2, m2);
+                    }
+                    if m3 > mx {
+                        mx2 = fmax(mx, b3);
+                        mx = m3;
+                        ax = a3;
+                    } else {
+                        mx2 = fmax(mx2, m3);
+                    }
+                    let thr = mx - 2e-9;
+                    let chosen = if mx2 < thr {
+                        // Unique max with margin: every other machine sits
+                        // below `B - 1e-9`, so the reference tie list is
+                        // exactly `{argmax}` and the hash tie-break
+                        // degenerates to index 0. No filter, no tie scan,
+                        // no hash.
+                        ax as u16
+                    } else {
+                        // Pass 2 (branchless): bitmask of machines within
+                        // 2e-9 of the max — the only ones that can appear
+                        // in or perturb the reference tie list. Padding
+                        // lanes hold 0.0 and never pass (the threshold
+                        // stays above 1 - 2e-9).
+                        let mut f0 = 0u64;
+                        let mut f1 = 0u64;
+                        let mut f2 = 0u64;
+                        let mut f3 = 0u64;
+                        let mut i = 0usize;
+                        while i < p4 {
+                            f0 |= ((score[i & 63] >= thr) as u64) << i;
+                            f1 |= ((score[(i + 1) & 63] >= thr) as u64) << (i + 1);
+                            f2 |= ((score[(i + 2) & 63] >= thr) as u64) << (i + 2);
+                            f3 |= ((score[(i + 3) & 63] >= thr) as u64) << (i + 3);
+                            i += 4;
+                        }
+                        let mut flt = f0 | f1 | f2 | f3;
+                        // Pass 3: the reference sequential running-best tie
+                        // logic, over the surviving machines in ascending
+                        // id order.
+                        let mut best_score = f64::NEG_INFINITY;
+                        let mut blen = 0usize;
+                        while flt != 0 {
+                            let i = flt.trailing_zeros() as usize & 63;
+                            flt &= flt - 1;
+                            let s = score[i];
+                            if s > best_score + 1e-9 {
+                                best_score = s;
+                                best[0] = i as u16;
+                                blen = 1;
+                            } else if (s - best_score).abs() <= 1e-9 {
+                                best[blen & 63] = i as u16;
+                                blen += 1;
+                            }
+                        }
+                        // Unbiased deterministic tie-break: hash of the
+                        // edge.
+                        best[(hash64(e.key()) % blen as u64) as usize & 63]
+                    };
+                    let c = chosen as usize & 63;
+                    let rbit = (1 as $mask) << (c as u32 & (<$mask>::BITS - 1));
+                    replicas[e.src as usize] |= rbit;
+                    replicas[e.dst as usize] |= rbit;
+                    loads[c] += 1.0;
+                    nl[c] = loads[c] / weight[c];
+                    assignment.push(chosen);
+
+                    // Incremental min/max/bal maintenance. Clearing the
+                    // chosen machine's minimum bit is a no-op when it was
+                    // not a minimum holder, so it runs unconditionally —
+                    // the single branch that remains separates the common
+                    // case (only the chosen machine's balance terms move)
+                    // from the rare full refresh (new maximum, or the
+                    // minimum set emptied: ~15% of edges combined).
+                    let bit = 1u64 << c;
+                    min_mask &= !bit;
+                    let new_max = nl[c] > max_nl;
+                    if new_max || min_mask == 0 {
+                        if new_max {
+                            max_nl = nl[c];
+                        }
+                        if min_mask == 0 {
+                            min_nl = nl[..p].iter().copied().fold(f64::INFINITY, fmin);
+                            for (i, &v) in nl[..p].iter().enumerate() {
+                                if v == min_nl {
+                                    min_mask |= 1u64 << i;
+                                }
+                            }
+                        }
+                        refresh_bal!();
+                    } else {
+                        // Min and max both survive elsewhere; only the
+                        // chosen machine's balance terms changed. Select
+                        // rather than branch on the flat-range case — it
+                        // recurs every time the loads realign, which would
+                        // make a branch here chronically mispredicted.
+                        let range = max_nl - min_nl;
+                        let b = (max_nl - nl[c]) / range;
+                        set_bal!(c, if range <= f64::EPSILON { 1.0 } else { b });
+                    }
+                }
+                replicas.iter().map(|&m| m as u64).collect::<Vec<u64>>()
+            }};
+        }
+        let replicas: Vec<u64> = if p <= 16 {
+            stream!(u16)
+        } else if p <= 32 {
+            stream!(u32)
+        } else {
+            stream!(u64)
+        };
+
+        // The loop's replica masks and load counts *are* the assignment's
+        // replication structure — hand them over instead of replaying the
+        // edges.
+        let edges_per_machine: Vec<usize> = loads[..p].iter().map(|&l| l as usize).collect();
+        PartitionAssignment::from_parts(p, assignment, replicas, edges_per_machine, 1)
     }
 }
 

@@ -11,8 +11,9 @@ use hetgraph_core::rng::{hash64, hash_combine};
 use hetgraph_core::Graph;
 
 use crate::assignment::PartitionAssignment;
+use crate::chunk::chunked_map;
 use crate::traits::Partitioner;
-use crate::weights::MachineWeights;
+use crate::weights::{assert_bitmask_capacity, MachineWeights};
 
 /// Random-hash edge partitioner.
 #[derive(Debug, Clone)]
@@ -47,15 +48,30 @@ impl Partitioner for RandomHash {
     }
 
     fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment {
-        let assignment: Vec<u16> = graph
-            .edges()
-            .iter()
-            .map(|e| {
-                let h = hash64(hash_combine(e.key(), self.salt));
-                weights.pick(h).0
-            })
-            .collect();
-        PartitionAssignment::from_edge_machines(graph, weights.len(), assignment)
+        self.partition_with_threads(graph, weights, 1)
+    }
+
+    fn partition_with_threads(
+        &self,
+        graph: &Graph,
+        weights: &MachineWeights,
+        host_threads: usize,
+    ) -> PartitionAssignment {
+        assert!(host_threads > 0, "need at least one host thread");
+        assert_bitmask_capacity(weights.len());
+        let edges = graph.edges();
+        // Pure per-edge hash: fan out in fixed chunks (identical output at
+        // any thread count).
+        let assignment: Vec<u16> = chunked_map(edges.len(), host_threads, |i| {
+            let h = hash64(hash_combine(edges[i].key(), self.salt));
+            weights.pick(h).0
+        });
+        PartitionAssignment::from_edge_machines_with_threads(
+            graph,
+            weights.len(),
+            assignment,
+            host_threads,
+        )
     }
 }
 

@@ -18,6 +18,28 @@ pub trait Partitioner {
     /// edges proportionally to the weights (uniform weights = the original
     /// homogeneous algorithm).
     fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment;
+
+    /// [`Partitioner::partition`] with a host thread budget.
+    ///
+    /// The determinism contract extends across thread counts: the returned
+    /// assignment must be byte-identical at any `host_threads`, so the
+    /// experiment harness may hand whatever budget is left over to the
+    /// partitioner without perturbing results. Inherently sequential
+    /// partitioners (history-based greedy scorers) default to ignoring the
+    /// budget; embarrassingly parallel ones (hash-based) override this
+    /// with index-deterministic chunked fan-out.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    fn partition_with_threads(
+        &self,
+        graph: &Graph,
+        weights: &MachineWeights,
+        host_threads: usize,
+    ) -> PartitionAssignment {
+        assert!(host_threads > 0, "need at least one host thread");
+        self.partition(graph, weights)
+    }
 }
 
 /// The five algorithms evaluated in the paper, as a value type for
@@ -96,5 +118,16 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(PartitionerKind::Hybrid.to_string(), "hybrid");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 machines")]
+    fn sixty_five_machine_weights_rejected() {
+        // 65 machines would shift past bit 63 of the u64 replica masks.
+        // `MachineWeights` refuses to construct, so no partitioner can be
+        // handed an over-capacity cluster; the per-partitioner
+        // `assert_bitmask_capacity` calls are defense-in-depth behind
+        // this boundary.
+        crate::MachineWeights::uniform(65);
     }
 }

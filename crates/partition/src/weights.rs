@@ -17,6 +17,27 @@ use hetgraph_core::MachineId;
 /// Maximum machines per cluster (replica sets are stored as `u64` masks).
 pub const MAX_MACHINES: usize = 64;
 
+/// Assert that `num_machines` fits the `u64` replica bitmasks used
+/// throughout this crate (`1u64 << machine` would silently alias — or be
+/// outright UB-flavored — for machine ids ≥ 64).
+///
+/// Every bitmask-based partitioner calls this on entry, so a cluster that
+/// outgrows the mask width fails loudly at partition time instead of
+/// corrupting replica sets. [`MachineWeights::new`] enforces the same
+/// bound at construction, making this a defense-in-depth check for
+/// weights reaching a partitioner through any future constructor.
+///
+/// # Panics
+/// Panics if `num_machines > MAX_MACHINES`.
+#[inline]
+pub fn assert_bitmask_capacity(num_machines: usize) {
+    assert!(
+        num_machines <= MAX_MACHINES,
+        "{num_machines} machines exceed the u64 replica bitmask capacity of {MAX_MACHINES}; \
+         shifts past bit 63 would alias machines"
+    );
+}
+
 /// A normalized positive weight per machine.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MachineWeights {
@@ -234,5 +255,18 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_rejected() {
         MachineWeights::new(&[]);
+    }
+
+    #[test]
+    fn bitmask_capacity_accepts_max() {
+        assert_bitmask_capacity(MAX_MACHINES);
+        let w = MachineWeights::uniform(MAX_MACHINES);
+        assert_eq!(w.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitmask capacity")]
+    fn bitmask_capacity_rejects_65() {
+        assert_bitmask_capacity(65);
     }
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerate the committed partition perf baseline, BENCH_partition.json.
+#
+#   scripts/bench.sh            # release build + exp_partition --scale 1
+#   scripts/bench.sh --scale 8  # quicker smoke run (numbers not committed)
+#
+# Fully offline, like scripts/check.sh: external crates resolve to path
+# stand-ins under third_party/, so nothing here touches the network.
+# The JSON lands at the repository root; commit it when the partitioner
+# hot paths change intentionally, with the speedup noted in the message.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+scale=1
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+    --scale)
+        scale="${2:?--scale needs a value}"
+        shift 2
+        ;;
+    *)
+        echo "usage: scripts/bench.sh [--scale N]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "==> cargo build --release -p hetgraph-bench --bin exp_partition"
+cargo build --release -p hetgraph-bench --bin exp_partition
+
+echo "==> exp_partition --scale $scale --out ."
+./target/release/exp_partition --scale "$scale" --out .
+
+echo
+echo "bench.sh: wrote BENCH_partition.json (scale $scale)"

@@ -47,3 +47,5 @@ step cargo clippy --workspace --all-targets -- -D warnings
 
 echo
 echo "check.sh: all gates passed"
+echo "(optional: scripts/bench.sh regenerates BENCH_partition.json when"
+echo " partitioner hot paths change)"

@@ -24,7 +24,9 @@ fn graphs() -> Vec<(&'static str, Graph)> {
         ("rmat", RmatConfig::natural(1_200, 7_200).generate(7)),
         (
             "powerlaw",
-            PowerLawConfig::new(900, 2.05).with_max_degree(200).generate(3),
+            PowerLawConfig::new(900, 2.05)
+                .with_max_degree(200)
+                .generate(3),
         ),
     ]
 }
@@ -54,7 +56,9 @@ fn grid_json(threads: usize) -> String {
                         let report = if threads == 1 {
                             engine.run(graph, &assignment, &prog).report
                         } else {
-                            engine.run_parallel(graph, &assignment, &prog, threads).report
+                            engine
+                                .run_parallel(graph, &assignment, &prog, threads)
+                                .report
                         };
                         cells.push((format!("{gname}/{cname}/{}/{}", kind.name(), $name), report));
                     }};
@@ -80,8 +84,9 @@ fn unified_kernel_reproduces_prerefactor_serial_reports() {
         println!("blessed {} bytes into {FIXTURE}", json.len());
         return;
     }
-    let want = std::fs::read_to_string(FIXTURE)
-        .expect("fixture missing; regenerate with HETGRAPH_BLESS=1 cargo test --test engine_snapshot");
+    let want = std::fs::read_to_string(FIXTURE).expect(
+        "fixture missing; regenerate with HETGRAPH_BLESS=1 cargo test --test engine_snapshot",
+    );
     for threads in [1usize, 2, 4] {
         let got = grid_json(threads);
         assert!(

@@ -84,6 +84,46 @@ proptest! {
     }
 
     #[test]
+    fn machine_weight_shares_sum_to_one(w in arb_weights()) {
+        // Whatever raw capacities went in, the normalized shares form a
+        // probability distribution.
+        let total: f64 = w.as_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "shares sum to {}", total);
+        prop_assert!(w.as_slice().iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn partitioning_is_thread_count_invariant(
+        g in arb_graph(),
+        w in arb_weights(),
+        kind_idx in 0usize..5,
+    ) {
+        // The full PartitionAssignment — edge machines, masters, replica
+        // masks, per-machine loads — must be byte-identical at any host
+        // thread budget, for every partitioner.
+        let kind = PartitionerKind::ALL[kind_idx];
+        let serial = kind.build().partition_with_threads(&g, &w, 1);
+        for threads in [2usize, 4] {
+            let par = kind.build().partition_with_threads(&g, &w, threads);
+            prop_assert_eq!(&serial, &par);
+        }
+    }
+
+    #[test]
+    fn partition_metrics_thread_count_invariant(
+        g in arb_graph(),
+        w in arb_weights(),
+        kind_idx in 0usize..5,
+    ) {
+        let a = PartitionerKind::ALL[kind_idx].build().partition(&g, &w);
+        let serial = PartitionMetrics::compute(&a, &w);
+        for threads in [2usize, 4] {
+            let par = PartitionMetrics::compute_with_threads(&a, &w, threads);
+            prop_assert_eq!(&serial, &par);
+        }
+    }
+
+    #[test]
     fn weighted_pick_is_total_and_stable(w in arb_weights(), h in any::<u64>()) {
         let m = w.pick(h);
         prop_assert!(m.index() < w.len());
