@@ -1,11 +1,16 @@
 //! Runs every experiment in paper order (the one-shot reproduction).
 //!
-//! Usage: `exp_all [--scale N] [--out DIR] [--threads N]`
+//! Usage: `exp_all [--scale N] [--out DIR] [--threads N] [--trace-dir DIR]`
 //!
 //! With `--out DIR` this additionally emits `BENCH_sweep.json`: host
 //! wall-clock per experiment phase at the configured thread count, plus a
 //! single-thread re-run of the headline phase as the speedup-vs-serial
 //! reference, so later PRs have a perf trajectory to regress against.
+//!
+//! With `--trace-dir DIR` a final phase writes Chrome `trace_event` files
+//! for representative cells (profiling, partitioning, and the superstep
+//! timeline on cases 2 and 3) — open them in chrome://tracing or
+//! ui.perfetto.dev.
 
 use std::time::Instant;
 
@@ -103,6 +108,11 @@ fn main() {
     timed(&mut phases, "partition_bench", || {
         hetgraph_bench::partition_bench::partition(&ctx);
     });
+    if ctx.trace_dir.is_some() {
+        timed(&mut phases, "traces", || {
+            hetgraph_bench::cases::write_traces(&ctx);
+        });
+    }
 
     if ctx.out_dir.is_some() {
         // Serial reference for the speedup column. The headline phase is

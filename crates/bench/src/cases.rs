@@ -2,6 +2,7 @@
 
 use hetgraph_apps::AnyApp;
 use hetgraph_cluster::Cluster;
+use hetgraph_core::obs::{chrome_trace, TraceRecorder};
 use hetgraph_core::stats;
 use hetgraph_core::Graph;
 use hetgraph_engine::{DistributedGraph, SimEngine};
@@ -9,6 +10,7 @@ use hetgraph_partition::{MachineWeights, PartitionAssignment, PartitionMetrics, 
 use hetgraph_profile::CcrPool;
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use crate::context::ExperimentContext;
 use crate::output::{f3, pct, print_table, write_json};
@@ -390,6 +392,60 @@ pub fn fig10(ctx: &ExperimentContext, case: u32) -> Vec<CaseRow> {
     rows
 }
 
+/// Write Chrome `trace_event` files for representative cells to
+/// `ctx.trace_dir` (no-op when unset): for each heterogeneous cluster
+/// (cases 2 and 3), one profiling trace covering proxy generation and
+/// every CCR measurement cell, plus one trace per selected app covering
+/// CCR-weighted Hybrid partitioning and the full superstep timeline
+/// (per-machine phase spans, barrier-wait attribution, straggler
+/// gauges) on the first natural graph. All files load directly in
+/// chrome://tracing or ui.perfetto.dev.
+///
+/// Returns the paths written, in emission order.
+pub fn write_traces(ctx: &ExperimentContext) -> Vec<PathBuf> {
+    let Some(dir) = ctx.trace_dir.clone() else {
+        return Vec::new();
+    };
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("creating trace dir {}: {e}", dir.display()));
+    let (gname, graph) = ctx.natural_graphs().remove(0);
+    let kind = PartitionerKind::Hybrid;
+    let mut written = Vec::new();
+    let mut emit = |path: PathBuf, recorder: TraceRecorder| {
+        let events = recorder.take_events();
+        std::fs::write(&path, chrome_trace(&events))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("trace: {} events -> {}", events.len(), path.display());
+        written.push(path);
+    };
+    for (case, cluster) in [("case2", Cluster::case2()), ("case3", Cluster::case3())] {
+        let profiling = TraceRecorder::new();
+        let pool = CcrPool::profile_recorded(
+            &cluster,
+            &ctx.proxies(),
+            ctx.apps(),
+            ctx.threads,
+            &profiling,
+        );
+        emit(dir.join(format!("{case}_profile.trace.json")), profiling);
+        for app in ctx.apps() {
+            let recorder = TraceRecorder::new();
+            let weights = Policy::CcrGuided.weights(&cluster, &pool, app.name());
+            let assignment =
+                kind.build()
+                    .partition_recorded(&graph, &weights, ctx.threads, &recorder);
+            let dist = DistributedGraph::new_with_threads(&graph, &assignment, ctx.threads);
+            let engine = SimEngine::new(&cluster).with_recorder(&recorder);
+            app.run_on_with_threads(&engine, &dist, ctx.threads);
+            emit(
+                dir.join(format!("{case}_{gname}_{}.trace.json", app.name())),
+                recorder,
+            );
+        }
+    }
+    written
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,5 +553,26 @@ mod tests {
     #[should_panic(expected = "missing row")]
     fn find_panics_on_absent_cell() {
         find(&[], "a", "g", "p", Policy::Default);
+    }
+
+    #[test]
+    fn write_traces_emits_loadable_chrome_files() {
+        let mut ctx = ExperimentContext::at_scale(2048);
+        ctx.apps = vec![AnyApp::pagerank()];
+        assert!(write_traces(&ctx).is_empty(), "no trace_dir -> no files");
+
+        let dir = std::env::temp_dir().join(format!("hetgraph_traces_{}", std::process::id()));
+        ctx.trace_dir = Some(dir.clone());
+        let written = write_traces(&ctx);
+        // Two clusters x (one profile file + one app file).
+        assert_eq!(written.len(), 4);
+        let sim_trace = std::fs::read_to_string(&written[1]).unwrap();
+        assert!(written[1].ends_with("case2_amazon_pagerank.trace.json"));
+        assert!(sim_trace.contains("\"traceEvents\""));
+        assert!(sim_trace.contains("barrier_wait"));
+        assert!(sim_trace.contains("partition/hybrid"));
+        let profile_trace = std::fs::read_to_string(&written[0]).unwrap();
+        assert!(profile_trace.contains("proxy_generation"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

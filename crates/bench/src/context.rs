@@ -23,6 +23,9 @@ pub struct ExperimentContext {
     /// `--apps` selects any subset of the full registry (`--apps all`
     /// runs all six).
     pub apps: Vec<AnyApp>,
+    /// Where to write Chrome `trace_event` files for representative cells
+    /// (`None` = no traces; set by `--trace-dir`).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ExperimentContext {
@@ -32,6 +35,7 @@ impl Default for ExperimentContext {
             out_dir: None,
             threads: hetgraph_core::par::default_host_threads(),
             apps: hetgraph_apps::standard_apps(),
+            trace_dir: None,
         }
     }
 }
@@ -115,6 +119,10 @@ impl ExperimentContext {
                     let v = it.next().ok_or("--apps needs a value")?;
                     ctx.apps = Self::parse_apps(&v)?;
                 }
+                "--trace-dir" => {
+                    let v = it.next().ok_or("--trace-dir needs a value")?;
+                    ctx.trace_dir = Some(PathBuf::from(v));
+                }
                 other if extra.contains(&other) => {
                     let v = it.next().ok_or_else(|| format!("{other} needs a value"))?;
                     rest.push(other.to_string());
@@ -140,7 +148,9 @@ impl ExperimentContext {
              --threads N   host thread budget (default: HETGRAPH_THREADS or all cores)\n  \
              --apps LIST   comma-separated workloads, or \"all\" (default: the paper's\n                \
              four; registry: pagerank,coloring,connected_components,\n                \
-             triangle_count,sssp,kcore)",
+             triangle_count,sssp,kcore)\n  \
+             --trace-dir DIR  write Chrome trace_event files for representative\n                \
+             cells to DIR (open in chrome://tracing or ui.perfetto.dev)",
         );
         for e in extra {
             s.push_str(&format!("\n  {e} VALUE"));
@@ -340,6 +350,19 @@ mod tests {
         let u = ExperimentContext::usage(&["--study"]);
         assert!(u.contains("--threads"));
         assert!(u.contains("--apps"));
+        assert!(u.contains("--trace-dir"));
         assert!(u.contains("--study"));
+    }
+
+    #[test]
+    fn parse_args_accepts_trace_dir() {
+        let (ctx, _) =
+            ExperimentContext::parse_args(argv(&["--trace-dir", "traces"]), &[]).unwrap();
+        assert_eq!(
+            ctx.trace_dir.as_deref(),
+            Some(std::path::Path::new("traces"))
+        );
+        assert!(ExperimentContext::default().trace_dir.is_none());
+        assert!(ExperimentContext::parse_args(argv(&["--trace-dir"]), &[]).is_err());
     }
 }

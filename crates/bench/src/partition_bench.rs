@@ -16,6 +16,8 @@
 //! experiment; the committed `BENCH_partition.json` is generated at
 //! `--scale 1` (see `scripts/bench.sh`).
 
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::time::Instant;
 
 use hetgraph_core::rng::hash64;
@@ -24,6 +26,7 @@ use hetgraph_gen::PowerLawConfig;
 use hetgraph_partition::{
     MachineWeights, Oblivious, PartitionAssignment, Partitioner, PartitionerKind,
 };
+use serde::Value;
 
 use crate::context::ExperimentContext;
 use crate::output;
@@ -245,6 +248,146 @@ pub fn partition(ctx: &ExperimentContext) -> PartitionBench {
     bench
 }
 
+/// Fraction of the baseline's normalized throughput a fresh run may lose
+/// before the regression gate fails (25% headroom absorbs CI-runner
+/// noise that normalization alone doesn't cancel).
+pub const CHECK_TOLERANCE: f64 = 0.75;
+
+/// Re-run the partition baseline and compare it against the committed
+/// `BENCH_partition.json` at `baseline_path`, failing on regressions.
+///
+/// Wall-clock is machine-dependent, so absolute rates are never compared
+/// across runs. Each partitioner's ingest rate is instead normalized by
+/// the `random` partitioner's rate at the same machine count *within the
+/// same run* — the ratio cancels host speed — and the gate fails when:
+///
+/// - the fresh seed-vs-fast Oblivious assignments diverge, or
+/// - a normalized rate drops below [`CHECK_TOLERANCE`] of the
+///   baseline's, or
+/// - the fresh Oblivious fast-path speedup falls below
+///   [`CHECK_TOLERANCE`] of the committed speedup.
+///
+/// The fresh run never writes output (the baseline being checked must
+/// not be overwritten), regardless of `ctx.out_dir`.
+pub fn check(ctx: &ExperimentContext, baseline_path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+    let baseline = serde_json::from_str(&text)
+        .map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?;
+    let mut fresh_ctx = ctx.clone();
+    fresh_ctx.out_dir = None;
+    let fresh = partition(&fresh_ctx);
+    println!("\n== bench check vs {} ==", baseline_path.display());
+    let failures = check_against(&fresh, &baseline)?;
+    if failures.is_empty() {
+        println!(
+            "bench check: OK ({} throughput rows within {:.0}% of baseline, \
+             oblivious speedup {:.2}x)",
+            fresh.throughput.len(),
+            100.0 * (1.0 - CHECK_TOLERANCE),
+            fresh.oblivious_speedup.speedup
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// The pure comparison core of [`check`]: fresh measurement vs parsed
+/// baseline. `Err` means the baseline document is malformed; `Ok` carries
+/// the (possibly empty) list of regression messages.
+fn check_against(fresh: &PartitionBench, baseline: &Value) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+    if !fresh.oblivious_speedup.assignments_identical {
+        failures.push("fresh run: seed and fast Oblivious assignments diverged".to_string());
+    }
+
+    let fresh_rel = normalized_throughput(
+        fresh
+            .throughput
+            .iter()
+            .map(|r| (r.partitioner.clone(), r.machines, r.edges_per_sec)),
+    )?;
+    let base_rel = normalized_throughput(baseline_rows(baseline)?)?;
+    for ((name, machines), rel) in &fresh_rel {
+        let Some(base) = base_rel.get(&(name.clone(), *machines)) else {
+            failures.push(format!("baseline has no {name} row at P={machines}"));
+            continue;
+        };
+        if *rel < CHECK_TOLERANCE * base {
+            failures.push(format!(
+                "{name} at P={machines}: normalized throughput {rel:.3} is below \
+                 {CHECK_TOLERANCE} x baseline {base:.3}"
+            ));
+        }
+    }
+
+    let base_speedup = baseline
+        .get("oblivious_speedup")
+        .and_then(|o| o.get("speedup"))
+        .and_then(Value::as_f64)
+        .ok_or("baseline is missing oblivious_speedup.speedup")?;
+    let speedup = fresh.oblivious_speedup.speedup;
+    if speedup < CHECK_TOLERANCE * base_speedup {
+        failures.push(format!(
+            "oblivious fast-path speedup {speedup:.2}x is below \
+             {CHECK_TOLERANCE} x baseline {base_speedup:.2}x"
+        ));
+    }
+    Ok(failures)
+}
+
+/// Extract `(partitioner, machines, edges_per_sec)` rows from a parsed
+/// baseline document.
+fn baseline_rows(
+    baseline: &Value,
+) -> Result<impl Iterator<Item = (String, usize, f64)> + '_, String> {
+    let rows = baseline
+        .get("throughput")
+        .and_then(Value::as_seq)
+        .ok_or("baseline is missing the throughput array")?;
+    rows.iter()
+        .map(|row| {
+            let name = row
+                .get("partitioner")
+                .and_then(Value::as_str)
+                .ok_or("baseline throughput row is missing partitioner")?;
+            let machines = row
+                .get("machines")
+                .and_then(Value::as_u64)
+                .ok_or("baseline throughput row is missing machines")?;
+            let eps = row
+                .get("edges_per_sec")
+                .and_then(Value::as_f64)
+                .ok_or("baseline throughput row is missing edges_per_sec")?;
+            Ok((name.to_string(), machines as usize, eps))
+        })
+        .collect::<Result<Vec<_>, String>>()
+        .map(Vec::into_iter)
+}
+
+/// Normalize each partitioner's ingest rate by the `random` partitioner's
+/// rate at the same machine count (measured in the same run, so host
+/// speed cancels).
+fn normalized_throughput(
+    rows: impl Iterator<Item = (String, usize, f64)>,
+) -> Result<BTreeMap<(String, usize), f64>, String> {
+    let rows: Vec<_> = rows.collect();
+    let random: BTreeMap<usize, f64> = rows
+        .iter()
+        .filter(|(name, _, _)| name == "random")
+        .map(|(_, machines, eps)| (*machines, *eps))
+        .collect();
+    let mut out = BTreeMap::new();
+    for (name, machines, eps) in rows {
+        let reference = random
+            .get(&machines)
+            .ok_or_else(|| format!("no random reference row at P={machines}"))?;
+        out.insert((name, machines), eps / reference);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +413,103 @@ mod tests {
         );
         assert!(bench.oblivious_speedup.assignments_identical);
         assert!(bench.oblivious_speedup.speedup > 0.0);
+    }
+
+    /// A fabricated measurement: every partitioner ingests at the same
+    /// rate (normalized throughput 1.0 everywhere), oblivious speedup 5x.
+    fn fake_bench() -> PartitionBench {
+        let mut throughput = Vec::new();
+        for machines in MACHINE_COUNTS {
+            for kind in PartitionerKind::ALL {
+                throughput.push(ThroughputRow {
+                    partitioner: kind.name().to_string(),
+                    machines,
+                    wall_s: 0.1,
+                    edges_per_sec: 1.0e6,
+                });
+            }
+        }
+        PartitionBench {
+            scale: 1,
+            throughput_vertices: 400_000,
+            throughput_edges: 3_000_000,
+            throughput,
+            oblivious_speedup: ObliviousSpeedup {
+                vertices: 1_000_000,
+                edges: 8_000_000,
+                machines: 16,
+                reps: 5,
+                seed_wall_s: 1.0,
+                fast_wall_s: 0.2,
+                speedup: 5.0,
+                assignments_identical: true,
+            },
+            total_wall_s: 1.0,
+        }
+    }
+
+    fn to_baseline(bench: &PartitionBench) -> serde::Value {
+        serde_json::from_str(&serde_json::to_string_pretty(bench).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn check_accepts_a_run_against_its_own_baseline() {
+        let bench = fake_bench();
+        let failures = check_against(&bench, &to_baseline(&bench)).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn check_normalization_cancels_host_speed() {
+        // The same machine measured on a 3x slower day: every wall-clock
+        // scales equally, so normalized throughput and speedup are
+        // unchanged and the gate still passes.
+        let mut slow = fake_bench();
+        for row in &mut slow.throughput {
+            row.wall_s *= 3.0;
+            row.edges_per_sec /= 3.0;
+        }
+        slow.oblivious_speedup.seed_wall_s *= 3.0;
+        slow.oblivious_speedup.fast_wall_s *= 3.0;
+        let failures = check_against(&slow, &to_baseline(&fake_bench())).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn check_flags_throughput_and_speedup_regressions() {
+        let baseline = to_baseline(&fake_bench());
+        let mut regressed = fake_bench();
+        // Ginger at P=16 drops to 10% of random's rate (baseline: 100%).
+        let row = regressed
+            .throughput
+            .iter_mut()
+            .find(|r| r.partitioner == "ginger" && r.machines == 16)
+            .unwrap();
+        row.edges_per_sec = 1.0e5;
+        // The fast path loses most of its edge over the seed loop.
+        regressed.oblivious_speedup.speedup = 2.0;
+        regressed.oblivious_speedup.assignments_identical = false;
+        let failures = check_against(&regressed, &baseline).unwrap();
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("diverged")));
+        assert!(failures.iter().any(|f| f.contains("ginger at P=16")));
+        assert!(failures.iter().any(|f| f.contains("speedup 2.00x")));
+        // 25% noise within tolerance: not a failure.
+        let mut noisy = fake_bench();
+        noisy.oblivious_speedup.speedup = 4.0;
+        assert!(check_against(&noisy, &baseline).unwrap().is_empty());
+    }
+
+    #[test]
+    fn check_rejects_malformed_baselines() {
+        let bench = fake_bench();
+        let err = check_against(&bench, &serde::Value::Null).unwrap_err();
+        assert!(err.contains("throughput"), "{err}");
+        let no_speedup = serde::Value::Map(vec![(
+            "throughput".into(),
+            to_baseline(&bench).get("throughput").unwrap().clone(),
+        )]);
+        let err = check_against(&bench, &no_speedup).unwrap_err();
+        assert!(err.contains("oblivious_speedup"), "{err}");
     }
 }

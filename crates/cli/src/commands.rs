@@ -313,6 +313,14 @@ pub fn profile(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `hetgraph simulate` — run one app on one graph on one cluster.
+///
+/// With `--trace-out FILE` the whole pipeline (CCR profiling,
+/// partitioning, the superstep kernel) runs under a
+/// [`hetgraph_core::obs::TraceRecorder`] and the trace is written to
+/// `FILE`: a `.jsonl` extension gets every event as JSON-lines, anything
+/// else gets the Chrome `trace_event` JSON of the *simulated-time* events
+/// only — which is byte-identical at any `--threads` value, and opens in
+/// `chrome://tracing` or Perfetto.
 pub fn simulate(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
@@ -324,6 +332,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             "policy",
             "scale",
             "threads",
+            "trace-out",
         ],
     )?;
     let g = load_graph(flags.require("input")?)?;
@@ -331,17 +340,24 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
     let app = parse_app(flags.get("app").unwrap_or("pagerank"))?;
     let kind = parse_partitioner(flags.get("algorithm").unwrap_or("hybrid"))?;
     let threads = parse_threads(&flags)?;
+    let tracer = hetgraph_core::obs::TraceRecorder::new();
+    let recorder: &dyn hetgraph_core::obs::Recorder = if flags.get("trace-out").is_some() {
+        &tracer
+    } else {
+        &hetgraph_core::obs::NOOP
+    };
     let policy = flags.get("policy").unwrap_or("ccr");
     let weights = match policy {
         "default" => MachineWeights::uniform(cluster.len()),
         "prior" => MachineWeights::from_thread_counts(&cluster),
         "ccr" => {
             let scale: u32 = flags.get_or("scale", 640u32)?;
-            let pool = CcrPool::profile_with_threads(
+            let pool = CcrPool::profile_recorded(
                 &cluster,
                 &ProxySet::standard(scale.max(1)),
                 std::slice::from_ref(&app),
                 threads,
+                recorder,
             );
             MachineWeights::from_ccr(pool.ccr(app.name()).expect("just profiled").ratios())
         }
@@ -351,8 +367,10 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             )))
         }
     };
-    let assignment = kind.build().partition_with_threads(&g, &weights, threads);
-    let engine = hetgraph_engine::SimEngine::new(&cluster);
+    let assignment = kind
+        .build()
+        .partition_recorded(&g, &weights, threads, recorder);
+    let engine = hetgraph_engine::SimEngine::new(&cluster).with_recorder(recorder);
     let report = app.run_with_threads(&engine, &g, &assignment, threads);
     println!("{report}");
     println!(
@@ -365,6 +383,19 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             .join(", ")
     );
     println!("compute imbalance: {:.3}", report.compute_imbalance());
+    if let Some(path) = flags.get("trace-out") {
+        let events = tracer.take_events();
+        let text = if path.ends_with(".jsonl") {
+            hetgraph_core::obs::to_jsonl(&events)
+        } else {
+            hetgraph_core::obs::chrome_trace_sim(&events)
+        };
+        std::fs::write(path, &text).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        println!(
+            "trace: {} events recorded, wrote {path} (open in chrome://tracing or ui.perfetto.dev)",
+            events.len()
+        );
+    }
     Ok(())
 }
 
@@ -549,6 +580,92 @@ mod tests {
             "default",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn simulate_trace_out_is_byte_identical_across_thread_counts() {
+        let path = tmp("trace_in.hgb");
+        generate(&argv(&[
+            "--family",
+            "powerlaw",
+            "--vertices",
+            "900",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let trace_at = |threads: &str| {
+            let out = tmp(&format!("trace_{threads}.json"));
+            simulate(&argv(&[
+                "--input",
+                &path,
+                "--cluster",
+                "case2",
+                "--app",
+                "pagerank",
+                "--algorithm",
+                "hybrid",
+                "--policy",
+                "default",
+                "--threads",
+                threads,
+                "--trace-out",
+                &out,
+            ]))
+            .unwrap();
+            std::fs::read_to_string(&out).unwrap()
+        };
+        let reference = trace_at("1");
+        assert!(reference.contains("\"traceEvents\""));
+        assert!(reference.contains("barrier_wait"));
+        assert!(
+            !reference.contains("\"pid\":1"),
+            "chrome trace output carries sim-domain events only"
+        );
+        for threads in ["2", "4"] {
+            assert_eq!(
+                trace_at(threads),
+                reference,
+                "simulated-time trace must not depend on --threads"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_trace_out_jsonl_includes_wall_events() {
+        let path = tmp("trace_jsonl_in.hgb");
+        generate(&argv(&[
+            "--family",
+            "powerlaw",
+            "--vertices",
+            "700",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let out = tmp("trace.jsonl");
+        simulate(&argv(&[
+            "--input",
+            &path,
+            "--cluster",
+            "case2",
+            "--policy",
+            "ccr",
+            "--scale",
+            "3200",
+            "--trace-out",
+            &out,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.lines().count() > 10);
+        assert!(
+            text.contains("\"domain\":\"Wall\""),
+            "profiler/partition spans"
+        );
+        assert!(text.contains("\"domain\":\"Sim\""), "engine spans");
+        assert!(text.contains("partition/hybrid"));
+        assert!(text.contains("proxy_generation"));
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   vertex sets.
 //! - [`par`] — deterministic self-scheduling fan-out, shared by the engine's
 //!   superstep parallelism and the benchmark sweep's cell parallelism.
+//! - [`obs`] — structured observability: the [`obs::Recorder`] trait,
+//!   span/counter/gauge events in simulated and wall time, and exporters
+//!   to JSON-lines and Chrome `trace_event` format.
 //! - [`io`] — text and binary edge-list serialization.
 //!
 //! The substrate deliberately contains no policy: partitioning, machine
@@ -39,6 +42,7 @@ pub mod edge_list;
 pub mod error;
 pub mod graph;
 pub mod io;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod stats;

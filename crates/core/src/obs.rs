@@ -1,0 +1,553 @@
+//! Structured observability: spans, counters, and gauges with zero cost
+//! when disabled.
+//!
+//! The paper's central claim is that the slowest machine gates every
+//! synchronization barrier. Aggregate reports can say *that* a run was
+//! imbalanced; only per-machine per-superstep spans can show *which*
+//! machine stalled *which* barrier. This module is the substrate for that
+//! evidence: an object-safe [`Recorder`] trait that instrumented code
+//! writes [`TraceEvent`]s through, a [`NoopRecorder`] that compiles the
+//! hot path down to one predictable branch, a [`TraceRecorder`] that
+//! collects events in memory, a per-thread [`TraceBuffer`] so fan-out
+//! workers record without touching a shared lock per event, and exporters
+//! to JSON-lines ([`to_jsonl`]) and the Chrome `trace_event` format
+//! ([`chrome_trace`], [`chrome_trace_sim`]) loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! ## Two time domains
+//!
+//! Every event carries a [`TimeDomain`]:
+//!
+//! - [`TimeDomain::Sim`] — *simulated cluster time*. Timestamps are
+//!   computed from the performance model, not measured, so they are a
+//!   pure function of the input and **byte-identical across host thread
+//!   counts** (the same determinism contract the engine's `SimReport`
+//!   obeys). Sim events must only be emitted from serial code — in
+//!   practice, the engine's per-superstep timing section.
+//! - [`TimeDomain::Wall`] — *host wall-clock time*, measured against the
+//!   recorder's epoch ([`Recorder::now_us`]). Wall events may be emitted
+//!   from worker threads (via [`TraceBuffer`]) and are inherently
+//!   nondeterministic; they never appear in [`chrome_trace_sim`] output.
+//!
+//! In the Chrome export the two domains become two processes: `pid 0` is
+//! the simulated cluster (one thread lane per machine), `pid 1` is the
+//! host.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Which clock an event's timestamps belong to (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum TimeDomain {
+    /// Simulated cluster time: deterministic, model-derived.
+    Sim,
+    /// Host wall-clock time: measured, nondeterministic.
+    Wall,
+}
+
+/// The shape of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum EventKind {
+    /// A duration (`ts_us` .. `ts_us + dur_us`) on a track.
+    Span,
+    /// A monotonic or per-step quantity sampled at `ts_us`.
+    Counter,
+    /// An instantaneous level sampled at `ts_us` (rendered like a
+    /// counter in the Chrome export).
+    Gauge,
+}
+
+/// One structured trace event.
+///
+/// `track` selects the lane within the domain's process: for sim events
+/// the engine uses machine index `i` for machine lanes and `P` (one past
+/// the last machine) for cluster-wide events like the communication
+/// barrier; wall events use worker or phase indices.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct TraceEvent {
+    /// Event name (Chrome: `name`).
+    pub name: String,
+    /// Category tag for filtering (Chrome: `cat`).
+    pub cat: String,
+    /// Span, counter, or gauge.
+    pub kind: EventKind,
+    /// Sim or wall clock.
+    pub domain: TimeDomain,
+    /// Lane within the domain's process (Chrome: `tid`).
+    pub track: u32,
+    /// Start (spans) or sample (counters/gauges) timestamp, microseconds.
+    pub ts_us: f64,
+    /// Span duration in microseconds; 0 for counters/gauges.
+    pub dur_us: f64,
+    /// Counter/gauge value; 0 for spans.
+    pub value: f64,
+}
+
+impl TraceEvent {
+    /// A simulated-time span; `start_s`/`dur_s` are in simulated seconds.
+    pub fn sim_span(
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        track: u32,
+        start_s: f64,
+        dur_s: f64,
+    ) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            kind: EventKind::Span,
+            domain: TimeDomain::Sim,
+            track,
+            ts_us: start_s * 1e6,
+            dur_us: dur_s * 1e6,
+            value: 0.0,
+        }
+    }
+
+    /// A wall-clock span; `start_us`/`dur_us` come from
+    /// [`Recorder::now_us`].
+    pub fn wall_span(
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        track: u32,
+        start_us: f64,
+        dur_us: f64,
+    ) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            kind: EventKind::Span,
+            domain: TimeDomain::Wall,
+            track,
+            ts_us: start_us,
+            dur_us,
+            value: 0.0,
+        }
+    }
+
+    /// A counter sample at simulated time `ts_s` (seconds).
+    pub fn sim_counter(name: impl Into<String>, track: u32, ts_s: f64, value: f64) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat: "counter".into(),
+            kind: EventKind::Counter,
+            domain: TimeDomain::Sim,
+            track,
+            ts_us: ts_s * 1e6,
+            dur_us: 0.0,
+            value,
+        }
+    }
+
+    /// A counter sample at wall-clock time `ts_us`.
+    pub fn wall_counter(name: impl Into<String>, track: u32, ts_us: f64, value: f64) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat: "counter".into(),
+            kind: EventKind::Counter,
+            domain: TimeDomain::Wall,
+            track,
+            ts_us,
+            dur_us: 0.0,
+            value,
+        }
+    }
+
+    /// A gauge sample at simulated time `ts_s` (seconds).
+    pub fn sim_gauge(name: impl Into<String>, track: u32, ts_s: f64, value: f64) -> Self {
+        TraceEvent {
+            kind: EventKind::Gauge,
+            cat: "gauge".into(),
+            ..TraceEvent::sim_counter(name, track, ts_s, value)
+        }
+    }
+
+    /// A gauge sample at wall-clock time `ts_us`.
+    pub fn wall_gauge(name: impl Into<String>, track: u32, ts_us: f64, value: f64) -> Self {
+        TraceEvent {
+            kind: EventKind::Gauge,
+            cat: "gauge".into(),
+            ..TraceEvent::wall_counter(name, track, ts_us, value)
+        }
+    }
+}
+
+/// Sink for [`TraceEvent`]s.
+///
+/// Instrumented code takes `&dyn Recorder` and must guard any non-trivial
+/// event construction behind [`Recorder::enabled`] — with the
+/// [`NoopRecorder`] that guard is the *entire* cost of instrumentation,
+/// which is what keeps the engine hot path within the benchmark's
+/// overhead budget (`benches/engine.rs`, `engine_obs` group).
+pub trait Recorder: Sync {
+    /// Whether events are being kept. `false` promises that [`record`]
+    /// and [`record_batch`] are no-ops, so callers skip event
+    /// construction entirely.
+    ///
+    /// [`record`]: Recorder::record
+    /// [`record_batch`]: Recorder::record_batch
+    fn enabled(&self) -> bool;
+
+    /// Record one event. Serial call sites use this directly; fan-out
+    /// workers should stage through a [`TraceBuffer`] instead.
+    fn record(&self, event: TraceEvent);
+
+    /// Drain `events` into the recorder in one operation (one lock
+    /// acquisition for the whole batch). `events` is left empty either
+    /// way.
+    fn record_batch(&self, events: &mut Vec<TraceEvent>);
+
+    /// Microseconds since the recorder's epoch, for wall-domain
+    /// timestamps. Disabled recorders return `0.0`.
+    fn now_us(&self) -> f64;
+}
+
+/// The disabled recorder: drops everything, reports `enabled() == false`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+/// Shared instance of [`NoopRecorder`], the default recorder everywhere a
+/// `&dyn Recorder` is threaded through.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&self, _event: TraceEvent) {}
+    fn record_batch(&self, events: &mut Vec<TraceEvent>) {
+        events.clear();
+    }
+    fn now_us(&self) -> f64 {
+        0.0
+    }
+}
+
+/// In-memory recorder: collects every event under one mutex, in arrival
+/// order. Serial emitters (the engine's timing section) therefore produce
+/// a deterministic event order; concurrent wall-domain emitters batch
+/// through [`TraceBuffer`] so the lock is taken once per flush, not once
+/// per event.
+pub struct TraceRecorder {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceRecorder {
+    /// A recorder whose wall epoch is "now".
+    pub fn new() -> Self {
+        TraceRecorder {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take every recorded event, leaving the recorder empty.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace event lock poisoned"))
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace event lock poisoned").len()
+    }
+
+    /// Whether no events have been recorded (or all were taken).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new()
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+    fn record(&self, event: TraceEvent) {
+        self.events
+            .lock()
+            .expect("trace event lock poisoned")
+            .push(event);
+    }
+    fn record_batch(&self, events: &mut Vec<TraceEvent>) {
+        self.events
+            .lock()
+            .expect("trace event lock poisoned")
+            .append(events);
+    }
+    fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+/// Per-thread staging buffer for fan-out workers.
+///
+/// Pushes are plain `Vec` appends — no atomics, no locks — and the whole
+/// batch is handed to the recorder in one [`Recorder::record_batch`] call
+/// on [`flush`] (or drop). When the recorder is disabled every push is a
+/// no-op, so workers can hold a buffer unconditionally.
+///
+/// [`flush`]: TraceBuffer::flush
+pub struct TraceBuffer<'r> {
+    recorder: &'r dyn Recorder,
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl<'r> TraceBuffer<'r> {
+    /// A buffer staging into `recorder`.
+    pub fn new(recorder: &'r dyn Recorder) -> Self {
+        TraceBuffer {
+            recorder,
+            enabled: recorder.enabled(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the underlying recorder keeps events.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Wall-clock microseconds from the recorder's epoch.
+    pub fn now_us(&self) -> f64 {
+        self.recorder.now_us()
+    }
+
+    /// Stage one event (dropped immediately if the recorder is disabled).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Hand all staged events to the recorder (one lock acquisition).
+    pub fn flush(&mut self) {
+        if !self.events.is_empty() {
+            self.recorder.record_batch(&mut self.events);
+        }
+    }
+}
+
+impl Drop for TraceBuffer<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Export events as JSON-lines: one compact JSON object per event, in
+/// recording order, with every [`TraceEvent`] field.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("trace event serialization is infallible"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Export events in the Chrome `trace_event` format (the JSON Object
+/// Format variant): open the file in `chrome://tracing` or drag it into
+/// <https://ui.perfetto.dev>. Sim-domain events land in process 0
+/// ("simulated cluster"), wall-domain events in process 1 ("host");
+/// spans become `ph: "X"` complete events, counters and gauges become
+/// `ph: "C"` counter samples.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    chrome_trace_filtered(events, None)
+}
+
+/// [`chrome_trace`] restricted to [`TimeDomain::Sim`] events.
+///
+/// This is the deterministic artifact: sim events are emitted only from
+/// serial model code, so for a fixed input the returned string is
+/// **byte-identical at any host thread count** (pinned by
+/// `tests/threading.rs`). `hetgraph simulate --trace-out x.json` writes
+/// exactly this.
+pub fn chrome_trace_sim(events: &[TraceEvent]) -> String {
+    chrome_trace_filtered(events, Some(TimeDomain::Sim))
+}
+
+fn chrome_trace_filtered(events: &[TraceEvent], only: Option<TimeDomain>) -> String {
+    let kept: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| only.is_none_or(|d| e.domain == d))
+        .collect();
+    let mut lines: Vec<String> = Vec::with_capacity(kept.len() + 2);
+    // Process-name metadata for each pid that actually appears, pid order.
+    for (pid, pname) in [(0u32, "simulated cluster"), (1u32, "host")] {
+        if kept.iter().any(|e| chrome_pid(e) == pid) {
+            lines.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{pname}\"}}}}"
+            ));
+        }
+    }
+    for e in kept {
+        lines.push(chrome_event(e));
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+fn chrome_pid(e: &TraceEvent) -> u32 {
+    match e.domain {
+        TimeDomain::Sim => 0,
+        TimeDomain::Wall => 1,
+    }
+}
+
+fn chrome_event(e: &TraceEvent) -> String {
+    use serde::Value;
+    let mut obj: Vec<(String, Value)> = vec![
+        ("name".into(), Value::Str(e.name.clone())),
+        ("cat".into(), Value::Str(e.cat.clone())),
+    ];
+    match e.kind {
+        EventKind::Span => {
+            obj.push(("ph".into(), Value::Str("X".into())));
+            obj.push(("pid".into(), Value::UInt(chrome_pid(e) as u64)));
+            obj.push(("tid".into(), Value::UInt(e.track as u64)));
+            obj.push(("ts".into(), Value::Float(e.ts_us)));
+            obj.push(("dur".into(), Value::Float(e.dur_us)));
+        }
+        EventKind::Counter | EventKind::Gauge => {
+            obj.push(("ph".into(), Value::Str("C".into())));
+            obj.push(("pid".into(), Value::UInt(chrome_pid(e) as u64)));
+            obj.push(("tid".into(), Value::UInt(e.track as u64)));
+            obj.push(("ts".into(), Value::Float(e.ts_us)));
+            obj.push((
+                "args".into(),
+                Value::Map(vec![(e.name.clone(), Value::Float(e.value))]),
+            ));
+        }
+    }
+    serde_json::to_string(&Value::Map(obj)).expect("chrome event serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_drops_everything() {
+        assert!(!NOOP.enabled());
+        NOOP.record(TraceEvent::sim_span("x", "test", 0, 0.0, 1.0));
+        let mut batch = vec![TraceEvent::sim_counter("c", 0, 0.0, 1.0)];
+        NOOP.record_batch(&mut batch);
+        assert!(batch.is_empty());
+        assert_eq!(NOOP.now_us(), 0.0);
+    }
+
+    #[test]
+    fn trace_recorder_keeps_arrival_order() {
+        let rec = TraceRecorder::new();
+        assert!(rec.enabled());
+        rec.record(TraceEvent::sim_span("a", "test", 0, 0.0, 1.0));
+        rec.record(TraceEvent::sim_span("b", "test", 1, 1.0, 1.0));
+        let events = rec.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].name, "b");
+        assert!(rec.is_empty(), "take_events drains");
+    }
+
+    #[test]
+    fn trace_buffer_flushes_on_drop() {
+        let rec = TraceRecorder::new();
+        {
+            let mut buf = TraceBuffer::new(&rec);
+            buf.push(TraceEvent::wall_span("w", "test", 3, 10.0, 5.0));
+            assert_eq!(rec.len(), 0, "staged, not yet flushed");
+        }
+        assert_eq!(rec.len(), 1, "drop flushed the batch");
+    }
+
+    #[test]
+    fn trace_buffer_is_noop_when_disabled() {
+        let mut buf = TraceBuffer::new(&NOOP);
+        assert!(!buf.enabled());
+        buf.push(TraceEvent::wall_span("w", "test", 0, 0.0, 1.0));
+        buf.flush(); // must not panic or record anywhere
+    }
+
+    #[test]
+    fn wall_clock_advances() {
+        let rec = TraceRecorder::new();
+        let t0 = rec.now_us();
+        let t1 = rec.now_us();
+        assert!(t1 >= t0);
+        assert!(t0 >= 0.0);
+    }
+
+    #[test]
+    fn sim_units_convert_to_microseconds() {
+        let e = TraceEvent::sim_span("gather", "superstep", 2, 1.5, 0.25);
+        assert_eq!(e.ts_us, 1.5e6);
+        assert_eq!(e.dur_us, 0.25e6);
+        assert_eq!(e.domain, TimeDomain::Sim);
+        let c = TraceEvent::sim_counter("active", 4, 2.0, 17.0);
+        assert_eq!(c.ts_us, 2e6);
+        assert_eq!(c.value, 17.0);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let events = vec![
+            TraceEvent::sim_span("a", "test", 0, 0.0, 1.0),
+            TraceEvent::wall_counter("b", 1, 5.0, 2.0),
+        ];
+        let jsonl = to_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"a\""));
+        assert!(lines[0].contains("\"domain\":\"Sim\""));
+        assert!(lines[1].contains("\"kind\":\"Counter\""));
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_counters_and_metadata() {
+        let events = vec![
+            TraceEvent::sim_span("gather", "superstep", 0, 0.0, 1.0),
+            TraceEvent::sim_gauge("imbalance", 2, 0.0, 1.25),
+            TraceEvent::wall_span("fanout", "host", 0, 3.0, 4.0),
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""), "complete spans present");
+        assert!(json.contains("\"ph\":\"C\""), "counter samples present");
+        assert!(json.contains("simulated cluster"));
+        assert!(json.contains("\"host\""));
+        assert!(json.contains("\"imbalance\":1.25"));
+    }
+
+    #[test]
+    fn chrome_trace_sim_excludes_wall_events() {
+        let events = vec![
+            TraceEvent::sim_span("gather", "superstep", 0, 0.0, 1.0),
+            TraceEvent::wall_span("fanout", "host", 0, 3.0, 4.0),
+        ];
+        let json = chrome_trace_sim(&events);
+        assert!(json.contains("gather"));
+        assert!(!json.contains("fanout"));
+        assert!(!json.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_sim_is_deterministic_for_identical_events() {
+        let make = || {
+            vec![
+                TraceEvent::sim_span("gather", "superstep", 0, 0.0, 0.125),
+                TraceEvent::sim_span("barrier_wait", "superstep", 1, 0.125, 0.5),
+                TraceEvent::sim_counter("active_vertices", 2, 0.0, 100.0),
+            ]
+        };
+        assert_eq!(chrome_trace_sim(&make()), chrome_trace_sim(&make()));
+    }
+}

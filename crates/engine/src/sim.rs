@@ -33,7 +33,11 @@
 //! budget changes how long the *host* takes to compute the simulation; the
 //! *simulated* cluster times it produces are independent of it.
 
-use hetgraph_cluster::{Cluster, EnergyModel, EnergyReport, GraphShape, NetworkModel, WorkCounts};
+use hetgraph_cluster::{
+    AppProfile, Cluster, EnergyModel, EnergyReport, GraphShape, MachineSpec, NetworkModel,
+    WorkCounts,
+};
+use hetgraph_core::obs::{Recorder, TraceEvent, NOOP};
 use hetgraph_core::par::{scheduled, Pool};
 use hetgraph_core::{BitSet, Graph, MachineId, VertexId};
 use hetgraph_partition::PartitionAssignment;
@@ -53,7 +57,7 @@ const CHUNK: usize = 1_024;
 pub struct SimEngine<'a> {
     cluster: &'a Cluster,
     network: NetworkModel,
-    trace: bool,
+    recorder: &'a dyn Recorder,
 }
 
 /// Result of a run: the real computed vertex data plus the simulated
@@ -121,7 +125,7 @@ impl<'a> SimEngine<'a> {
         SimEngine {
             cluster,
             network: NetworkModel::default(),
-            trace: false,
+            recorder: &NOOP,
         }
     }
 
@@ -130,14 +134,22 @@ impl<'a> SimEngine<'a> {
         SimEngine {
             cluster,
             network,
-            trace: false,
+            recorder: &NOOP,
         }
     }
 
-    /// Record a [`crate::report::StepRecord`] for every superstep (off by
-    /// default: traces grow linearly with supersteps).
-    pub fn with_trace(mut self, trace: bool) -> Self {
-        self.trace = trace;
+    /// Attach a [`Recorder`]. With an enabled recorder the kernel records
+    /// a [`crate::report::StepRecord`] per superstep and emits structured
+    /// trace events: per-machine gather/apply/scatter spans, per-machine
+    /// `barrier_wait` slack (`max busy − busy_i`), the cluster-wide
+    /// communication barrier, and per-superstep counters (active
+    /// vertices, imbalance, straggler machine) — all in simulated time,
+    /// plus host wall-clock spans for the fan-out phases. With the
+    /// default [`NOOP`] recorder all of that costs one branch per
+    /// superstep (traces grow linearly with supersteps, so recording is
+    /// off by default).
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -151,9 +163,10 @@ impl<'a> SimEngine<'a> {
         &self.network
     }
 
-    /// Whether per-superstep tracing is enabled.
-    pub fn trace(&self) -> bool {
-        self.trace
+    /// The recorder events are emitted to ([`NOOP`] unless
+    /// [`SimEngine::with_recorder`] was called).
+    pub fn recorder(&self) -> &dyn Recorder {
+        self.recorder
     }
 
     /// Execute `program` on `graph` partitioned by `assignment`, serially.
@@ -290,6 +303,17 @@ impl<'a> SimEngine<'a> {
         let gather_pool: Pool<GatherChunk<P::VertexData>> = Pool::new();
         let scatter_pool: Pool<ScatterChunk> = Pool::new();
 
+        // Observability: with the default NoopRecorder this one branch is
+        // the entire per-superstep cost of instrumentation. Sim-domain
+        // events are emitted only from the serial timing section below,
+        // so their order — and the exported trace bytes — are independent
+        // of `host_threads`.
+        let recorder = self.recorder;
+        let tracing = recorder.enabled();
+        // Snapshot of `step_work` taken between gather-merge and scatter,
+        // used to split each machine's busy time into per-phase spans.
+        let mut gather_work = vec![WorkCounts::zero(); p];
+
         for step in 0..program.max_supersteps() {
             if active.is_empty() {
                 converged = true;
@@ -303,6 +327,7 @@ impl<'a> SimEngine<'a> {
             sync_counts.fill(0);
 
             // --- Gather + Apply (reads previous-step data), fanned out ---
+            let wall_gather_t0 = if tracing { recorder.now_us() } else { 0.0 };
             let n_chunks = active_list.len().div_ceil(CHUNK);
             let gathered: Vec<GatherChunk<P::VertexData>> =
                 scheduled(n_chunks, host_threads, |idx| {
@@ -338,8 +363,20 @@ impl<'a> SimEngine<'a> {
                 c.recycle();
                 gather_pool.put(c);
             }
+            if tracing {
+                gather_work.copy_from_slice(&step_work);
+                let t = recorder.now_us();
+                recorder.record(TraceEvent::wall_span(
+                    "gather_merge",
+                    "host",
+                    0,
+                    wall_gather_t0,
+                    t - wall_gather_t0,
+                ));
+            }
 
             // --- Scatter (sees post-apply data), fanned out over changed ---
+            let wall_scatter_t0 = if tracing { recorder.now_us() } else { 0.0 };
             next_active.clear();
             if program.scatter_direction() != Direction::None && !changed.is_empty() {
                 let n_sc_chunks = changed.len().div_ceil(CHUNK);
@@ -361,6 +398,16 @@ impl<'a> SimEngine<'a> {
                     scatter_pool.put(c);
                 }
             }
+            if tracing {
+                let t = recorder.now_us();
+                recorder.record(TraceEvent::wall_span(
+                    "scatter_fanout",
+                    "host",
+                    0,
+                    wall_scatter_t0,
+                    t - wall_scatter_t0,
+                ));
+            }
 
             // --- Timing, energy, bookkeeping: once, here, only here ---
             busy.clear();
@@ -373,7 +420,22 @@ impl<'a> SimEngine<'a> {
                 per_machine_busy[i] += busy[i];
                 total_work[i].add(step_work[i]);
             }
-            if self.trace {
+            if tracing {
+                emit_step_trace(
+                    recorder,
+                    &EmitStep {
+                        machines,
+                        profile: &profile,
+                        shape: &shape,
+                        step_work: &step_work,
+                        gather_work: &gather_work,
+                        busy: &busy,
+                        step_start_s: makespan,
+                        step_compute,
+                        step_comm,
+                        active: active_list.len(),
+                    },
+                );
                 steps.push(crate::report::StepRecord {
                     step,
                     active: active_list.len(),
@@ -408,6 +470,139 @@ impl<'a> SimEngine<'a> {
             },
         }
     }
+}
+
+/// Inputs to [`emit_step_trace`]: one superstep's timing state, borrowed
+/// from the kernel's serial timing section.
+struct EmitStep<'s> {
+    machines: &'s [MachineSpec],
+    profile: &'s AppProfile,
+    shape: &'s GraphShape,
+    /// Total per-machine work for the superstep (gather + scatter).
+    step_work: &'s [WorkCounts],
+    /// Per-machine work snapshotted after the gather merge, before
+    /// scatter — the gather/apply share of `step_work`.
+    gather_work: &'s [WorkCounts],
+    busy: &'s [f64],
+    step_start_s: f64,
+    step_compute: f64,
+    step_comm: f64,
+    active: usize,
+}
+
+/// Emit one superstep's simulated-time trace: per-machine
+/// gather/apply/scatter spans, per-machine `barrier_wait` slack, the
+/// cluster-wide communication barrier, and the step counters.
+///
+/// Called only from the kernel's serial timing section, so event order is
+/// deterministic and independent of the host thread count. Machine `i`
+/// records on track `i`; cluster-wide events use track `P`.
+///
+/// The per-phase spans split `busy[i]` by re-costing each phase's work
+/// through the same performance model and normalizing so the three spans
+/// sum exactly to `busy[i]` (the model is not additive across phases —
+/// skew relief sees the whole step — so the split is proportional
+/// attribution, not three independent model evaluations).
+fn emit_step_trace(recorder: &dyn Recorder, s: &EmitStep<'_>) {
+    let p = s.busy.len();
+    for i in 0..p {
+        let gw = s.gather_work[i];
+        let scatter_edges = s.step_work[i].edge_units - gw.edge_units;
+        let phase_costs = [
+            (
+                "gather",
+                WorkCounts {
+                    edge_units: gw.edge_units,
+                    vertex_units: 0.0,
+                },
+            ),
+            (
+                "apply",
+                WorkCounts {
+                    edge_units: 0.0,
+                    vertex_units: gw.vertex_units,
+                },
+            ),
+            (
+                "scatter",
+                WorkCounts {
+                    edge_units: scatter_edges,
+                    vertex_units: 0.0,
+                },
+            ),
+        ]
+        .map(|(name, w)| (name, s.profile.time_seconds(&s.machines[i], &w, s.shape)));
+        let total: f64 = phase_costs.iter().map(|(_, t)| t).sum();
+        if total > 0.0 && s.busy[i] > 0.0 {
+            let scale = s.busy[i] / total;
+            let mut cursor = s.step_start_s;
+            for (name, t) in phase_costs {
+                let dur = t * scale;
+                if dur > 0.0 {
+                    recorder.record(TraceEvent::sim_span(
+                        name,
+                        "superstep",
+                        i as u32,
+                        cursor,
+                        dur,
+                    ));
+                }
+                cursor += dur;
+            }
+        }
+        // Barrier-wait attribution: how long machine i idles at the
+        // superstep barrier waiting for the straggler.
+        let slack = s.step_compute - s.busy[i];
+        if slack > 0.0 {
+            recorder.record(TraceEvent::sim_span(
+                "barrier_wait",
+                "superstep",
+                i as u32,
+                s.step_start_s + s.busy[i],
+                slack,
+            ));
+        }
+    }
+    if s.step_comm > 0.0 {
+        recorder.record(TraceEvent::sim_span(
+            "comm_barrier",
+            "superstep",
+            p as u32,
+            s.step_start_s + s.step_compute,
+            s.step_comm,
+        ));
+    }
+    recorder.record(TraceEvent::sim_counter(
+        "active_vertices",
+        p as u32,
+        s.step_start_s,
+        s.active as f64,
+    ));
+    let mean_busy = s.busy.iter().sum::<f64>() / p as f64;
+    let imbalance = if mean_busy > 0.0 {
+        s.step_compute / mean_busy
+    } else {
+        1.0
+    };
+    recorder.record(TraceEvent::sim_gauge(
+        "imbalance",
+        p as u32,
+        s.step_start_s,
+        imbalance,
+    ));
+    // The straggler is the machine that gates the barrier: the (lowest
+    // on ties) index whose busy time equals the step maximum.
+    let straggler = s
+        .busy
+        .iter()
+        .position(|&b| b == s.step_compute)
+        .unwrap_or(0);
+    recorder.record(TraceEvent::sim_gauge(
+        "straggler_machine",
+        p as u32,
+        s.step_start_s,
+        straggler as f64,
+    ));
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -515,7 +710,7 @@ fn for_each_neighbor(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetgraph_cluster::AppProfile;
+    use hetgraph_core::obs::TraceRecorder;
     use hetgraph_core::{Edge, EdgeList};
     use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
 
@@ -686,8 +881,9 @@ mod tests {
         let g = two_components();
         let cluster = Cluster::case2();
         let a = partitioned(&g, &cluster);
+        let rec = TraceRecorder::new();
         let traced = SimEngine::new(&cluster)
-            .with_trace(true)
+            .with_recorder(&rec)
             .run(&g, &a, &MinLabel);
         let plain = SimEngine::new(&cluster).run(&g, &a, &MinLabel);
         assert!(plain.report.steps.is_empty(), "tracing is off by default");
@@ -704,6 +900,97 @@ mod tests {
         }
         // Tracing must not change results.
         assert_eq!(traced.data, plain.data);
+    }
+
+    #[test]
+    fn trace_events_cover_machines_phases_and_counters() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = partitioned(&g, &cluster);
+        let rec = TraceRecorder::new();
+        let out = SimEngine::new(&cluster)
+            .with_recorder(&rec)
+            .run(&g, &a, &MinLabel);
+        let events = rec.take_events();
+        assert!(!events.is_empty());
+        let sim: Vec<_> = events
+            .iter()
+            .filter(|e| e.domain == hetgraph_core::obs::TimeDomain::Sim)
+            .collect();
+        // Per-superstep counters land on the cluster-wide track.
+        let p = cluster.len() as u32;
+        for name in ["active_vertices", "imbalance", "straggler_machine"] {
+            let count = sim.iter().filter(|e| e.name == name).count();
+            assert_eq!(count, out.report.supersteps, "{name} once per superstep");
+            assert!(sim.iter().all(|e| e.name != name || e.track == p));
+        }
+        // Every machine gets phase spans on its own lane.
+        for i in 0..p {
+            assert!(
+                sim.iter().any(|e| e.track == i && e.name == "gather"),
+                "machine {i} has gather spans"
+            );
+        }
+        // Wall-clock phase spans from the host coordinator exist too.
+        assert!(events.iter().any(|e| e.name == "gather_merge"));
+        assert!(events.iter().any(|e| e.name == "scatter_fanout"));
+    }
+
+    #[test]
+    fn trace_phase_spans_sum_to_busy_time() {
+        let g = big_graph();
+        let cluster = Cluster::case3();
+        let a = partitioned(&g, &cluster);
+        let rec = TraceRecorder::new();
+        let out = SimEngine::new(&cluster)
+            .with_recorder(&rec)
+            .run(&g, &a, &MinLabel);
+        let events = rec.take_events();
+        // Per machine: Σ (gather+apply+scatter spans) == total busy, and
+        // Σ barrier_wait == compute_s − busy_i (the derived attribution).
+        for i in 0..cluster.len() {
+            let phase_total: f64 = events
+                .iter()
+                .filter(|e| {
+                    e.track == i as u32 && matches!(e.name.as_str(), "gather" | "apply" | "scatter")
+                })
+                .map(|e| e.dur_us / 1e6)
+                .sum();
+            let busy = out.report.per_machine_busy_s[i];
+            assert!(
+                (phase_total - busy).abs() <= 1e-9 * busy.max(1.0),
+                "machine {i}: phase spans {phase_total} != busy {busy}"
+            );
+            let wait_total: f64 = events
+                .iter()
+                .filter(|e| e.track == i as u32 && e.name == "barrier_wait")
+                .map(|e| e.dur_us / 1e6)
+                .sum();
+            let slack = out.report.compute_s - busy;
+            assert!(
+                (wait_total - slack).abs() <= 1e-9 * slack.max(1.0),
+                "machine {i}: barrier_wait {wait_total} != slack {slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_trace_is_byte_identical_across_thread_counts() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = partitioned(&g, &cluster);
+        let trace_at = |threads: usize| {
+            let rec = TraceRecorder::new();
+            SimEngine::new(&cluster)
+                .with_recorder(&rec)
+                .run_parallel(&g, &a, &MinLabel, threads);
+            hetgraph_core::obs::chrome_trace_sim(&rec.take_events())
+        };
+        let reference = trace_at(1);
+        assert!(reference.contains("barrier_wait"));
+        for threads in [2, 4] {
+            assert_eq!(trace_at(threads), reference, "{threads} threads");
+        }
     }
 
     #[test]

@@ -63,6 +63,16 @@ impl Partitioner for Ginger {
         "ginger"
     }
 
+    /// One Fennel scoring scan per low-degree vertex (high-degree
+    /// vertices keep hash homes and are never greedily scored).
+    fn greedy_scans(&self, graph: &Graph) -> Option<u64> {
+        Some(
+            (0..graph.num_vertices())
+                .filter(|&v| graph.in_degree(v) <= self.threshold)
+                .count() as u64,
+        )
+    }
+
     fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment {
         self.partition_with_threads(graph, weights, 1)
     }

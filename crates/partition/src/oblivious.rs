@@ -64,6 +64,11 @@ impl Partitioner for Oblivious {
         "oblivious"
     }
 
+    /// One greedy candidate-machine scan per placed edge.
+    fn greedy_scans(&self, graph: &Graph) -> Option<u64> {
+        Some(graph.num_edges() as u64)
+    }
+
     fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment {
         let p = weights.len();
         assert_bitmask_capacity(p);

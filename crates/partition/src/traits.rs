@@ -1,5 +1,6 @@
 //! The partitioner interface.
 
+use hetgraph_core::obs::{Recorder, TraceEvent};
 use hetgraph_core::Graph;
 
 use crate::assignment::PartitionAssignment;
@@ -39,6 +40,65 @@ pub trait Partitioner {
     ) -> PartitionAssignment {
         assert!(host_threads > 0, "need at least one host thread");
         self.partition(graph, weights)
+    }
+
+    /// Greedy scoring scans this partitioner performs on `graph`: the
+    /// number of candidate-machine scans its streaming greedy loop runs
+    /// (one per placed edge for Oblivious, one per low-degree vertex for
+    /// Ginger). `None` for partitioners with no greedy loop.
+    fn greedy_scans(&self, _graph: &Graph) -> Option<u64> {
+        None
+    }
+
+    /// [`Partitioner::partition_with_threads`] wrapped in observability:
+    /// records a wall-clock span plus edge-throughput (and, where the
+    /// algorithm has one, greedy-scan) counters to `recorder`. With a
+    /// disabled recorder this is exactly `partition_with_threads` — the
+    /// assignment is identical either way.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    fn partition_recorded(
+        &self,
+        graph: &Graph,
+        weights: &MachineWeights,
+        host_threads: usize,
+        recorder: &dyn Recorder,
+    ) -> PartitionAssignment {
+        if !recorder.enabled() {
+            return self.partition_with_threads(graph, weights, host_threads);
+        }
+        let t0 = recorder.now_us();
+        let assignment = self.partition_with_threads(graph, weights, host_threads);
+        let t1 = recorder.now_us();
+        let name = self.name();
+        recorder.record(TraceEvent::wall_span(
+            format!("partition/{name}"),
+            "partition",
+            0,
+            t0,
+            t1 - t0,
+        ));
+        let edges = graph.num_edges() as f64;
+        recorder.record(TraceEvent::wall_counter("partition_edges", 0, t1, edges));
+        let dur_s = (t1 - t0) / 1e6;
+        if dur_s > 0.0 {
+            recorder.record(TraceEvent::wall_counter(
+                "partition_edges_per_sec",
+                0,
+                t1,
+                edges / dur_s,
+            ));
+        }
+        if let Some(scans) = self.greedy_scans(graph) {
+            recorder.record(TraceEvent::wall_counter(
+                "partition_greedy_scans",
+                0,
+                t1,
+                scans as f64,
+            ));
+        }
+        assignment
     }
 }
 
@@ -118,6 +178,55 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(PartitionerKind::Hybrid.to_string(), "hybrid");
+    }
+
+    #[test]
+    fn partition_recorded_matches_plain_and_emits_counters() {
+        use hetgraph_core::obs::{TraceRecorder, NOOP};
+        use hetgraph_core::{Edge, EdgeList};
+        let n = 200u32;
+        let edges: Vec<Edge> = (0..n).map(|v| Edge::new(v, (v * 7 + 1) % n)).collect();
+        let g = Graph::from_edge_list(EdgeList::from_edges(n, edges));
+        let w = crate::MachineWeights::uniform(4);
+        for kind in PartitionerKind::ALL {
+            let p = kind.build();
+            let plain = p.partition_with_threads(&g, &w, 1);
+            let noop = p.partition_recorded(&g, &w, 1, &NOOP);
+            assert_eq!(plain.edge_machines(), noop.edge_machines(), "{kind}");
+            let rec = TraceRecorder::new();
+            let traced = p.partition_recorded(&g, &w, 1, &rec);
+            assert_eq!(plain.edge_machines(), traced.edge_machines(), "{kind}");
+            let events = rec.take_events();
+            assert!(
+                events.iter().any(|e| e.name == format!("partition/{kind}")),
+                "{kind} span"
+            );
+            let edges_counter = events
+                .iter()
+                .find(|e| e.name == "partition_edges")
+                .unwrap_or_else(|| panic!("{kind} edge counter"));
+            assert_eq!(edges_counter.value, g.num_edges() as f64);
+        }
+    }
+
+    #[test]
+    fn greedy_scan_counts_follow_the_algorithm() {
+        use hetgraph_core::{Edge, EdgeList};
+        let n = 100u32;
+        let edges: Vec<Edge> = (0..n).map(|v| Edge::new(v, (v + 1) % n)).collect();
+        let g = Graph::from_edge_list(EdgeList::from_edges(n, edges));
+        // Hash partitioners have no greedy loop.
+        assert_eq!(crate::RandomHash::new().greedy_scans(&g), None);
+        assert_eq!(crate::Grid::new().greedy_scans(&g), None);
+        assert_eq!(crate::Hybrid::new().greedy_scans(&g), None);
+        // Oblivious scans once per edge.
+        assert_eq!(
+            crate::Oblivious::new().greedy_scans(&g),
+            Some(g.num_edges() as u64)
+        );
+        // Every vertex of this ring has in-degree 1 ≤ threshold, so
+        // Ginger scores all of them.
+        assert_eq!(crate::Ginger::new().greedy_scans(&g), Some(n as u64));
     }
 
     #[test]

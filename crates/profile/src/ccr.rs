@@ -132,9 +132,46 @@ impl CcrPool {
         apps: &[AnyApp],
         host_threads: usize,
     ) -> Self {
+        Self::profile_recorded(
+            cluster,
+            proxies,
+            apps,
+            host_threads,
+            &hetgraph_core::obs::NOOP,
+        )
+    }
+
+    /// [`CcrPool::profile_with_threads`] with observability: wall-clock
+    /// spans for proxy-graph generation and for every CCR estimation cell
+    /// (application × machine group), recorded through per-worker
+    /// [`hetgraph_core::obs::TraceBuffer`]s. Worker-side events are
+    /// wall-domain only (their arrival order depends on scheduling); the
+    /// returned pool is identical to the unrecorded one.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn profile_recorded(
+        cluster: &Cluster,
+        proxies: &ProxySet,
+        apps: &[AnyApp],
+        host_threads: usize,
+        recorder: &dyn hetgraph_core::obs::Recorder,
+    ) -> Self {
+        use hetgraph_core::obs::{TraceBuffer, TraceEvent};
         let specs = proxies.proxies();
+        let t_gen0 = recorder.now_us();
         let graphs: Vec<Graph> =
             hetgraph_core::par::scheduled(specs.len(), host_threads, |i| specs[i].generate());
+        if recorder.enabled() {
+            let t = recorder.now_us();
+            recorder.record(TraceEvent::wall_span(
+                "proxy_generation",
+                "profile",
+                0,
+                t_gen0,
+                t - t_gen0,
+            ));
+        }
         let groups = cluster.groups();
         let group_list: Vec<_> = groups.iter().collect();
         let n_groups = group_list.len();
@@ -143,7 +180,27 @@ impl CcrPool {
             hetgraph_core::par::scheduled(apps.len() * n_groups, host_threads, |k| {
                 let (ai, gi) = (k / n_groups, k % n_groups);
                 let rep = cluster.machine(group_list[gi].1[0]);
-                profiling_set_time(rep, &apps[ai], &graphs)
+                if !recorder.enabled() {
+                    return profiling_set_time(rep, &apps[ai], &graphs);
+                }
+                let mut buf = TraceBuffer::new(recorder);
+                let t0 = buf.now_us();
+                let time = profiling_set_time(rep, &apps[ai], &graphs);
+                let t1 = buf.now_us();
+                buf.push(TraceEvent::wall_span(
+                    format!("ccr/{}/{}", apps[ai].name(), group_list[gi].0),
+                    "profile",
+                    gi as u32,
+                    t0,
+                    t1 - t0,
+                ));
+                buf.push(TraceEvent::wall_gauge(
+                    format!("proxy_set_time_s/{}", apps[ai].name()),
+                    gi as u32,
+                    t1,
+                    time,
+                ));
+                time
             });
         let mut pool = CcrPool::new();
         for (ai, app) in apps.iter().enumerate() {
@@ -255,6 +312,29 @@ mod tests {
             let par = CcrPool::profile_with_threads(&cluster, &proxies, &standard_apps(), threads);
             assert_eq!(par, serial, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn profile_recorded_matches_and_emits_cell_spans() {
+        use hetgraph_core::obs::{TraceRecorder, NOOP};
+        let cluster = Cluster::case2();
+        let proxies = ProxySet::standard(6400);
+        let apps = standard_apps();
+        let plain = CcrPool::profile_with_threads(&cluster, &proxies, &apps, 2);
+        let noop = CcrPool::profile_recorded(&cluster, &proxies, &apps, 2, &NOOP);
+        assert_eq!(plain, noop);
+        let rec = TraceRecorder::new();
+        let traced = CcrPool::profile_recorded(&cluster, &proxies, &apps, 2, &rec);
+        assert_eq!(plain, traced, "recording must not perturb the pool");
+        let events = rec.take_events();
+        assert!(events.iter().any(|e| e.name == "proxy_generation"));
+        // One estimation span per (app × machine group); Case 2 has two
+        // distinct machine types.
+        let cells = events.iter().filter(|e| e.name.starts_with("ccr/")).count();
+        assert_eq!(cells, apps.len() * 2);
+        assert!(events
+            .iter()
+            .all(|e| e.domain == hetgraph_core::obs::TimeDomain::Wall));
     }
 
     #[test]

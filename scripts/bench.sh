@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Regenerate the committed partition perf baseline, BENCH_partition.json.
+# Regenerate or verify the committed partition perf baseline,
+# BENCH_partition.json.
 #
 #   scripts/bench.sh            # release build + exp_partition --scale 1
 #   scripts/bench.sh --scale 8  # quicker smoke run (numbers not committed)
+#   scripts/bench.sh --check    # re-measure and gate against the committed
+#                               # baseline (wall-clock-tolerant; this is
+#                               # what CI's bench-regression job runs)
 #
 # Fully offline, like scripts/check.sh: external crates resolve to path
 # stand-ins under third_party/, so nothing here touches the network.
@@ -15,14 +19,19 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 scale=1
+check=0
 while [ "$#" -gt 0 ]; do
     case "$1" in
     --scale)
         scale="${2:?--scale needs a value}"
         shift 2
         ;;
+    --check)
+        check=1
+        shift
+        ;;
     *)
-        echo "usage: scripts/bench.sh [--scale N]" >&2
+        echo "usage: scripts/bench.sh [--scale N] [--check]" >&2
         exit 2
         ;;
     esac
@@ -31,8 +40,14 @@ done
 echo "==> cargo build --release -p hetgraph-bench --bin exp_partition"
 cargo build --release -p hetgraph-bench --bin exp_partition
 
-echo "==> exp_partition --scale $scale --out ."
-./target/release/exp_partition --scale "$scale" --out .
-
-echo
-echo "bench.sh: wrote BENCH_partition.json (scale $scale)"
+if [ "$check" -eq 1 ]; then
+    echo "==> exp_partition --scale $scale --check BENCH_partition.json"
+    ./target/release/exp_partition --scale "$scale" --check BENCH_partition.json
+    echo
+    echo "bench.sh: check passed against BENCH_partition.json"
+else
+    echo "==> exp_partition --scale $scale --out ."
+    ./target/release/exp_partition --scale "$scale" --out .
+    echo
+    echo "bench.sh: wrote BENCH_partition.json (scale $scale)"
+fi

@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh --fast     # skip the release build (debug test run only)
+#   scripts/check.sh --ci       # GitHub Actions ::group:: annotations
 #
 # Fully offline: external crates resolve to path stand-ins under
 # third_party/ (see third_party/README.md), so no step here touches the
@@ -14,20 +15,37 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 fast=0
+ci=0
 for arg in "$@"; do
     case "$arg" in
     --fast) fast=1 ;;
+    --ci) ci=1 ;;
     *)
-        echo "usage: scripts/check.sh [--fast]" >&2
+        echo "usage: scripts/check.sh [--fast] [--ci]" >&2
         exit 2
         ;;
     esac
 done
 
+group() {
+    if [ "$ci" -eq 1 ]; then
+        echo "::group::$*"
+    else
+        echo
+        echo "==> $*"
+    fi
+}
+
+endgroup() {
+    if [ "$ci" -eq 1 ]; then
+        echo "::endgroup::"
+    fi
+}
+
 step() {
-    echo
-    echo "==> $*"
+    group "$*"
     "$@"
+    endgroup
 }
 
 if [ "$fast" -eq 0 ]; then
@@ -36,16 +54,25 @@ fi
 step cargo test -q --workspace
 
 # cargo fmt --all would also reformat the third_party/ offline stand-ins,
-# which track upstream layout; gate only this repo's own sources.
-echo
-echo "==> rustfmt --check (workspace sources, third_party excluded)"
-git ls-files '*.rs' | grep -v '^third_party/' \
-    | while read -r f; do [ -f "$f" ] && printf '%s\n' "$f"; done \
-    | xargs rustfmt --check --edition 2021
+# which track upstream layout; gate only this repo's own sources. Collect
+# the file list into an array first: a `... | while read | xargs` pipeline
+# reports the exit status of its last segment under pipefail, and a
+# filter step that ends on a failed `[ -f ]` test would flag a clean tree
+# (or, worse, earlier segments could mask a real rustfmt failure).
+group "rustfmt --check (workspace sources, third_party excluded)"
+fmt_files=()
+while IFS= read -r f; do
+    if [ -f "$f" ]; then
+        fmt_files+=("$f")
+    fi
+done < <(git ls-files '*.rs' | grep -v '^third_party/')
+rustfmt --check --edition 2021 "${fmt_files[@]}"
+endgroup
 
 step cargo clippy --workspace --all-targets -- -D warnings
 
 echo
 echo "check.sh: all gates passed"
 echo "(optional: scripts/bench.sh regenerates BENCH_partition.json when"
-echo " partitioner hot paths change)"
+echo " partitioner hot paths change; scripts/bench.sh --check gates a"
+echo " fresh run against the committed baseline)"

@@ -62,6 +62,10 @@ pub mod prelude {
     pub use hetgraph_cluster::{
         catalog, AppProfile, Cluster, EnergyModel, MachineSpec, NetworkModel,
     };
+    pub use hetgraph_core::obs::{
+        chrome_trace, chrome_trace_sim, to_jsonl, NoopRecorder, Recorder, TraceBuffer, TraceEvent,
+        TraceRecorder, NOOP,
+    };
     pub use hetgraph_core::{Edge, EdgeList, Graph, GraphBuilder, MachineId, VertexId};
     pub use hetgraph_engine::{GasProgram, SimEngine, SimOutcome, SimReport};
     pub use hetgraph_gen::{

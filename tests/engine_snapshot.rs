@@ -45,7 +45,11 @@ fn grid_json(threads: usize) -> String {
     let mut cells: Vec<(String, SimReport)> = Vec::new();
     for (gname, graph) in &graphs() {
         for (cname, cluster) in &clusters() {
-            let engine = SimEngine::new(cluster).with_trace(true);
+            // An enabled recorder turns on per-step tracing, exactly as
+            // the old `with_trace(true)` flag did; the serialized report
+            // is unchanged (trace events live beside it, not inside it).
+            let recorder = TraceRecorder::new();
+            let engine = SimEngine::new(cluster).with_recorder(&recorder);
             for kind in PARTITIONERS {
                 let assignment = kind
                     .build()

@@ -99,6 +99,38 @@ fn run_matrix_is_golden_across_thread_counts() {
 }
 
 #[test]
+fn sim_trace_bytes_are_identical_across_thread_counts() {
+    // The observability determinism contract: simulated-time trace
+    // events are emitted only from the engine's serial timing section,
+    // so the Chrome export of the simulated timeline is byte-identical
+    // at any host thread budget. (Wall-domain events are host timing
+    // and legitimately vary; `chrome_trace_sim` excludes them.)
+    use hetgraph::prelude::{chrome_trace_sim, TraceRecorder};
+    use hetgraph_engine::DistributedGraph;
+
+    let (cluster, pool, graphs) = fixture();
+    let graph = &graphs[0].1;
+    let app = hetgraph::apps::AnyApp::pagerank();
+    let weights = Policy::CcrGuided.weights(&cluster, &pool, app.name());
+    let traces: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let recorder = TraceRecorder::new();
+            let assignment = PartitionerKind::Hybrid
+                .build()
+                .partition_recorded(graph, &weights, threads, &recorder);
+            let dist = DistributedGraph::new_with_threads(graph, &assignment, threads);
+            let engine = SimEngine::new(&cluster).with_recorder(&recorder);
+            app.run_on_with_threads(&engine, &dist, threads);
+            chrome_trace_sim(&recorder.take_events())
+        })
+        .collect();
+    assert!(traces[0].contains("barrier_wait"), "trace has attribution");
+    assert_eq!(traces[0], traces[1], "1 vs 2 threads");
+    assert_eq!(traces[0], traces[2], "1 vs 4 threads");
+}
+
+#[test]
 fn partition_memo_dedupes_shared_weight_vectors() {
     let (cluster, pool, graphs) = fixture();
     // 1 graph x 1 partitioner x 4 apps x 3 policies = 12 cells, but only

@@ -154,6 +154,61 @@ impl Serialize for Value {
     }
 }
 
+impl Value {
+    /// Look up `key` in a [`Value::Map`]; `None` for other variants or a
+    /// missing key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Int`, `UInt`, and `Float` all convert; everything
+    /// else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view: `UInt` directly, non-negative `Int` by conversion.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
 impl Serialize for std::path::PathBuf {
     fn to_value(&self) -> Value {
         Value::Str(self.display().to_string())
@@ -184,6 +239,27 @@ mod tests {
                 Value::Str("a".into())
             ])])
         );
+    }
+
+    #[test]
+    fn value_accessors_view_the_right_variants() {
+        let v = Value::Map(vec![
+            ("n".into(), Value::Float(1.5)),
+            ("u".into(), Value::UInt(7)),
+            ("s".into(), Value::Str("x".into())),
+            ("b".into(), Value::Bool(true)),
+            ("xs".into(), Value::Seq(vec![Value::Int(-2)])),
+        ]);
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("u").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("xs").and_then(Value::as_seq).map(<[Value]>::len), Some(1));
+        assert_eq!(v.get("xs").unwrap().as_seq().unwrap()[0].as_f64(), Some(-2.0));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("n"), None);
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! Pretty-prints the [`serde::Value`] data model with the real
 //! serde_json's conventions: 2-space indent, `", "`-free compact
 //! brackets for empty containers, `\uXXXX` escapes for control
-//! characters, and non-finite floats rendered as `null`.
+//! characters, and non-finite floats rendered as `null`. [`from_str`]
+//! parses JSON text back into a [`Value`] tree (recursive descent; used
+//! by the bench-regression gate to read committed baselines).
 
 use serde::{Serialize, Value};
 use std::fmt;
@@ -38,6 +40,221 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
         let _ = s;
         out
     })
+}
+
+/// Parse JSON text into a [`Value`] tree.
+///
+/// Numbers parse as `UInt` (no sign, no `.`/`e`), `Int` (leading `-`, no
+/// `.`/`e`), or `Float` (anything with a fraction or exponent) — the same
+/// variant split the serializer produces, so parse→print round-trips.
+/// Trailing non-whitespace after the document is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at byte {} of JSON document",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // The serializer only emits \u escapes for
+                            // control chars < 0x20, so surrogate pairs
+                            // never round-trip here; lone surrogates are
+                            // simply rejected.
+                            out.push(
+                                char::from_u32(hex).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one whole UTF-8 scalar (input is a &str, so
+                    // slicing at a char boundary is safe via chars()).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if fractional {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err("bad number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| self.err("bad number"))
+        }
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: usize) {
@@ -177,5 +394,55 @@ mod tests {
     fn compact_matches_structure() {
         let v = vec![(1u32, "x".to_string())];
         assert_eq!(to_string(&v).unwrap(), "[[1,\"x\"]]");
+    }
+
+    #[test]
+    fn parses_scalars_with_the_serializer_variant_split() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" 42 ").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-42").unwrap(), Value::Int(-42));
+        assert_eq!(from_str("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+        assert_eq!(from_str("\"\\u0041\"").unwrap(), Value::Str("A".into()));
+    }
+
+    #[test]
+    fn parses_nested_containers() {
+        let v = from_str("{\"xs\": [1, -2, 3.5], \"m\": {\"k\": \"v\"}, \"e\": []}").unwrap();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                (
+                    "xs".into(),
+                    Value::Seq(vec![Value::UInt(1), Value::Int(-2), Value::Float(3.5)])
+                ),
+                ("m".into(), Value::Map(vec![("k".into(), Value::Str("v".into()))])),
+                ("e".into(), Value::Seq(vec![])),
+            ])
+        );
+    }
+
+    #[test]
+    fn pretty_print_round_trips_through_from_str() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("a\"b\n".into())),
+            ("wall_s".into(), Value::Float(0.125)),
+            ("machines".into(), Value::UInt(16)),
+            ("ok".into(), Value::Bool(true)),
+            ("rows".into(), Value::Seq(vec![Value::Int(-1), Value::Null])),
+        ]);
+        let printed = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&printed).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "tru", "{", "[1,", "{\"a\" 1}", "\"open", "1 2", "{\"a\":}", "nul!", "[1]]",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail");
+        }
     }
 }
