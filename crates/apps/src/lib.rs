@@ -34,7 +34,7 @@ pub mod triangle_count;
 pub use coloring::Coloring;
 pub use connected_components::ConnectedComponents;
 pub use kcore::KCore;
-pub use pagerank::PageRank;
+pub use pagerank::{PageRank, PageRank32};
 pub use registry::{
     full_apps, standard_apps, AnyApp, AppRegistry, AppSpec, KCORE_DEFAULT_K, PAGERANK_ITERATIONS,
     SSSP_DEFAULT_SOURCE,

@@ -27,7 +27,7 @@ use hetgraph_partition::PartitionAssignment;
 use crate::coloring::Coloring;
 use crate::connected_components::ConnectedComponents;
 use crate::kcore::KCore;
-use crate::pagerank::PageRank;
+use crate::pagerank::{PageRank, PageRank32};
 use crate::sssp::Sssp;
 use crate::triangle_count::TriangleCount;
 
@@ -96,6 +96,15 @@ impl AnyApp {
     /// PageRank (Eq. 8) at the standard [`PAGERANK_ITERATIONS`].
     pub fn pagerank() -> Self {
         AnyApp::new(PageRankSpec)
+    }
+
+    /// Reduced-precision PageRank ([`PageRank32`]) at the standard
+    /// [`PAGERANK_ITERATIONS`]. Opt-in only: deliberately not part of
+    /// [`AppRegistry::standard`] or [`AppRegistry::full`] — its f32 ranks
+    /// are not comparable with the pinned f64 snapshots, so it must be
+    /// registered explicitly (the CLI does, as `pagerank_f32`).
+    pub fn pagerank_f32() -> Self {
+        AnyApp::new(PageRank32Spec)
     }
 
     /// Greedy coloring.
@@ -224,6 +233,29 @@ impl AppSpec for PageRankSpec {
             engine,
             dist,
             &PageRank::new(PAGERANK_ITERATIONS),
+            host_threads,
+        )
+    }
+}
+
+struct PageRank32Spec;
+impl AppSpec for PageRank32Spec {
+    fn name(&self) -> &'static str {
+        "pagerank_f32"
+    }
+    fn profile(&self) -> AppProfile {
+        PageRank32::standard_profile()
+    }
+    fn run_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &DistributedGraph<'_>,
+        host_threads: usize,
+    ) -> SimReport {
+        exec(
+            engine,
+            dist,
+            &PageRank32::new(PAGERANK_ITERATIONS),
             host_threads,
         )
     }
@@ -438,6 +470,26 @@ mod tests {
                 "kcore"
             ]
         );
+    }
+
+    #[test]
+    fn pagerank_f32_is_opt_in_only() {
+        // The reduced-precision program must never leak into the default
+        // registries (its reports would silently diverge from the f64
+        // snapshots), but explicit registration works like any other app.
+        assert!(AppRegistry::standard().get("pagerank_f32").is_none());
+        assert!(AppRegistry::full().get("pagerank_f32").is_none());
+        let mut r = AppRegistry::full();
+        r.register(AnyApp::pagerank_f32());
+        let app = r.get("pagerank_f32").expect("registered");
+        assert_eq!(app.name(), app.profile().name);
+        app.profile().assert_valid();
+        let g = PowerLawConfig::new(800, 2.1).generate(3);
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let rep = app.run(&SimEngine::new(&cluster), &g, &a);
+        assert_eq!(rep.app, "pagerank_f32");
+        assert!(rep.makespan_s > 0.0);
     }
 
     #[test]

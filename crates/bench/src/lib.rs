@@ -22,6 +22,7 @@
 //! | [`headline::headline`] | the abstract's aggregate claims |
 //! | [`ablation`] | beyond-paper sensitivity studies |
 //! | [`partition_bench::partition`] | partition perf baseline (`BENCH_partition.json`) |
+//! | [`engine_bench::engine`] | superstep-kernel perf baseline (`BENCH_engine.json`) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,6 +32,7 @@ pub mod accuracy;
 pub mod cases;
 pub mod context;
 pub mod cost_fig;
+pub mod engine_bench;
 pub mod headline;
 pub mod output;
 pub mod partition_bench;

@@ -68,9 +68,12 @@ fn parse_cluster(name: &str) -> Result<Cluster, CliError> {
     }
 }
 
-/// Resolve `--app` against the full app registry.
+/// Resolve `--app` against the full app registry, plus the opt-in
+/// reduced-precision `pagerank_f32` (kept out of the default registries
+/// so `--apps all` and the sweeps stay on the snapshot-pinned f64 path).
 fn parse_app(name: &str) -> Result<AnyApp, CliError> {
-    let registry = AppRegistry::full();
+    let mut registry = AppRegistry::full();
+    registry.register(AnyApp::pagerank_f32());
     registry.get(name).cloned().ok_or_else(|| {
         CliError(format!(
             "unknown app {name:?}; expected one of: {}",
@@ -704,7 +707,14 @@ mod tests {
             "{err:?}"
         );
         assert!(parse_apps("").is_err());
+        // `all` stays the six f64 apps; the reduced-precision PageRank is
+        // reachable only by asking for it by name.
         assert_eq!(parse_apps("all").unwrap().len(), 6);
+        assert!(parse_apps("all")
+            .unwrap()
+            .iter()
+            .all(|a| a.name() != "pagerank_f32"));
+        assert_eq!(parse_app("pagerank_f32").unwrap().name(), "pagerank_f32");
         assert_eq!(parse_apps("sssp,sssp").unwrap().len(), 1);
         assert!(parse_partitioner("nope").unwrap_err().0.contains("hybrid"));
         assert!(load_graph("/definitely/missing")

@@ -21,8 +21,13 @@
 //!   relative errors) used by the profiling and evaluation crates.
 //! - [`bitset`] — a compact fixed-size bitset used by the engine for active
 //!   vertex sets.
+//! - [`frontier`] — the engine's hybrid sparse/dense frontier set with
+//!   dirty-word clearing, the hot-path replacement for a bare bitset.
 //! - [`par`] — deterministic self-scheduling fan-out, shared by the engine's
 //!   superstep parallelism and the benchmark sweep's cell parallelism.
+//! - [`prefetch`] — portable software-prefetch hints for indirect CSR scans
+//!   (currently uncalled by the kernel: measured net-negative on the
+//!   benchmark host — see the module docs).
 //! - [`obs`] — structured observability: the [`obs::Recorder`] trait,
 //!   span/counter/gauge events in simulated and wall time, and exporters
 //!   to JSON-lines and Chrome `trace_event` format.
@@ -40,10 +45,12 @@ pub mod csr;
 pub mod degree;
 pub mod edge_list;
 pub mod error;
+pub mod frontier;
 pub mod graph;
 pub mod io;
 pub mod obs;
 pub mod par;
+pub mod prefetch;
 pub mod rng;
 pub mod stats;
 pub mod transform;
@@ -54,6 +61,7 @@ pub use csr::Csr;
 pub use degree::DegreeStats;
 pub use edge_list::{Edge, EdgeList};
 pub use error::CoreError;
+pub use frontier::FrontierSet;
 pub use graph::Graph;
 pub use rng::{hash64, SplitMix64, Xoshiro256};
 

@@ -1,0 +1,76 @@
+//! Software-prefetch shim for indirect hot loops.
+//!
+//! Graph kernels are dominated by dependent random loads: a CSR scan
+//! produces a neighbor id, and the very next instruction needs that
+//! neighbor's data line. Hardware prefetchers cannot follow the
+//! indirection, so issuing explicit hints a fixed distance ahead of the
+//! scan *can* hide the DRAM/TLB latency behind useful work.
+//!
+//! Measured caveat: on the repository's benchmark host these hints were
+//! a net **loss** in the superstep kernel at every distance tried — the
+//! hint dispatch cost more than the latency it hid — so the kernel does
+//! not call them (see the fast-path notes in `DESIGN.md` §3b before
+//! re-adding them). The shim stays available for targets where the
+//! trade goes the other way.
+//!
+//! The shim is a *hint* in the strictest sense: it never reads or writes
+//! memory architecturally, it cannot fault, and on targets without a
+//! known prefetch instruction it compiles to nothing. Results are
+//! therefore bit-identical with or without it — the determinism contract
+//! of the superstep kernel is unaffected.
+
+/// Hint that `slice[idx]` will be read soon. Out-of-range indices are
+/// ignored (the common shape at the tail of a scan loop), so callers can
+/// prefetch `i + DISTANCE` unconditionally.
+#[inline(always)]
+pub fn prefetch_slice<T>(slice: &[T], idx: usize) {
+    if idx < slice.len() {
+        // SAFETY: `idx` is in bounds, so the pointer is derived from a
+        // live allocation; the hint never dereferences it.
+        prefetch_ptr(unsafe { slice.as_ptr().add(idx) }.cast());
+    }
+}
+
+/// Issue a read-prefetch hint (to all cache levels) for the line holding
+/// `p`. Safe for any pointer: prefetch instructions are architecturally
+/// non-faulting and never access memory as far as the abstract machine
+/// is concerned.
+#[inline(always)]
+pub fn prefetch_ptr(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a non-faulting hint; SSE is part of the
+    // x86_64 baseline target, so the intrinsic is always callable.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM is a non-faulting hint; the asm reads no
+    // architectural state beyond the address register.
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{p}]", p = in(reg) p, options(nostack, preserves_flags, readonly));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_and_out_of_range_are_both_safe() {
+        let v: Vec<u64> = (0..100).collect();
+        for i in [0usize, 50, 99, 100, 10_000] {
+            prefetch_slice(&v, i);
+        }
+        // Values are untouched by the hints.
+        assert_eq!(v[50], 50);
+    }
+
+    #[test]
+    fn empty_slice_is_safe() {
+        let v: Vec<u8> = Vec::new();
+        prefetch_slice(&v, 0);
+        prefetch_slice(&v, 7);
+    }
+}

@@ -6,8 +6,16 @@
 //! arrays exactly aligned with each CSR's `targets` array by replaying the
 //! same counting sort the CSR construction used.
 
+use std::sync::OnceLock;
+
 use hetgraph_core::{Graph, MachineId, VertexId};
 use hetgraph_partition::PartitionAssignment;
+
+/// Largest machine count for which [`DistributedGraph::machine_counts`]
+/// materializes its per-vertex count tables. Each direction costs
+/// `n * p` u32s; past this the footprint outweighs the per-edge
+/// accounting work the tables save.
+const ROW_COUNTS_MAX_MACHINES: usize = 8;
 
 /// A graph plus its partition, with per-adjacency-slot edge ownership.
 pub struct DistributedGraph<'a> {
@@ -17,6 +25,10 @@ pub struct DistributedGraph<'a> {
     out_slot_machine: Vec<u16>,
     /// Machine of the edge behind `in_csr.targets()[k]`.
     in_slot_machine: Vec<u16>,
+    /// Lazily built per-vertex per-machine slot counts (see
+    /// [`machine_counts`](Self::machine_counts)).
+    out_row_counts: OnceLock<Vec<u32>>,
+    in_row_counts: OnceLock<Vec<u32>>,
 }
 
 impl<'a> DistributedGraph<'a> {
@@ -65,7 +77,34 @@ impl<'a> DistributedGraph<'a> {
             assignment,
             out_slot_machine,
             in_slot_machine,
+            out_row_counts: OnceLock::new(),
+            in_row_counts: OnceLock::new(),
         }
+    }
+
+    /// Per-vertex per-machine adjacency-slot counts for the (out, in) CSR
+    /// directions, row-major by vertex: entry `v * p + m` is how many of
+    /// `v`'s adjacency slots machine `m` owns. The superstep kernel uses
+    /// them to charge unit-per-edge work with `p` adds per row instead of
+    /// one machine-lane load and add per edge.
+    ///
+    /// Built lazily on first call (one pass over each slot array) and
+    /// cached. Returns `None` when the cluster has more than
+    /// [`ROW_COUNTS_MAX_MACHINES`] machines, where the tables' `n * p`
+    /// footprint stops paying for itself; callers must keep a per-edge
+    /// fallback.
+    pub fn machine_counts(&self) -> Option<(&[u32], &[u32])> {
+        let p = self.assignment.num_machines();
+        if p > ROW_COUNTS_MAX_MACHINES {
+            return None;
+        }
+        let out = self.out_row_counts.get_or_init(|| {
+            row_machine_counts(self.graph.out_csr().offsets(), &self.out_slot_machine, p)
+        });
+        let inn = self.in_row_counts.get_or_init(|| {
+            row_machine_counts(self.graph.in_csr().offsets(), &self.in_slot_machine, p)
+        });
+        Some((out, inn))
     }
 
     /// The underlying graph.
@@ -103,6 +142,32 @@ impl<'a> DistributedGraph<'a> {
             .zip(&self.in_slot_machine[lo..hi])
             .map(|(&u, &m)| (u, MachineId(m)))
     }
+
+    /// Out-adjacency of `v` as raw parallel slices: neighbor ids and the
+    /// raw machine index of each edge. The slice form is what the
+    /// kernel's hot scans iterate — a bounds-checked-once zip over two
+    /// plain slices, with the `MachineId` wrapper elided.
+    #[inline]
+    pub fn out_adj(&self, v: VertexId) -> (&[VertexId], &[u16]) {
+        let offsets = self.graph.out_csr().offsets();
+        let (lo, hi) = (offsets[v as usize], offsets[v as usize + 1]);
+        (
+            &self.graph.out_csr().targets()[lo..hi],
+            &self.out_slot_machine[lo..hi],
+        )
+    }
+
+    /// In-adjacency of `v` as raw parallel slices (see
+    /// [`out_adj`](Self::out_adj)).
+    #[inline]
+    pub fn in_adj(&self, v: VertexId) -> (&[VertexId], &[u16]) {
+        let offsets = self.graph.in_csr().offsets();
+        let (lo, hi) = (offsets[v as usize], offsets[v as usize + 1]);
+        (
+            &self.graph.in_csr().targets()[lo..hi],
+            &self.in_slot_machine[lo..hi],
+        )
+    }
 }
 
 /// Replay the CSR counting sort to produce, for each adjacency slot, the
@@ -125,6 +190,20 @@ fn align(graph: &Graph, assignment: &PartitionAssignment, by_src: bool) -> Vec<u
         fill[key] += 1;
     }
     slot_machine
+}
+
+/// Collapse a slot-machine array into per-vertex per-machine counts
+/// (`n * p`, row-major by vertex).
+fn row_machine_counts(offsets: &[usize], slot_machine: &[u16], p: usize) -> Vec<u32> {
+    let n = offsets.len() - 1;
+    let mut counts = vec![0u32; n * p];
+    for v in 0..n {
+        let row = &mut counts[v * p..(v + 1) * p];
+        for &m in &slot_machine[offsets[v]..offsets[v + 1]] {
+            row[m as usize] += 1;
+        }
+    }
+    counts
 }
 
 /// [`align`] for both directions in one edge pass: each edge lands its
@@ -238,6 +317,67 @@ mod tests {
             assert_eq!(serial.out_slot_machine, par.out_slot_machine);
             assert_eq!(serial.in_slot_machine, par.in_slot_machine);
         }
+    }
+
+    #[test]
+    fn adjacency_slices_match_owned_iterators() {
+        let (g, ms) = setup();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
+        let d = DistributedGraph::new(&g, &a);
+        for v in g.vertices() {
+            let from_iter: Vec<_> = d.out_neighbors_owned(v).collect();
+            let (ts, mach) = d.out_adj(v);
+            let from_slices: Vec<_> = ts
+                .iter()
+                .zip(mach)
+                .map(|(&u, &m)| (u, MachineId(m)))
+                .collect();
+            assert_eq!(from_iter, from_slices);
+            let from_iter: Vec<_> = d.in_neighbors_owned(v).collect();
+            let (ts, mach) = d.in_adj(v);
+            let from_slices: Vec<_> = ts
+                .iter()
+                .zip(mach)
+                .map(|(&u, &m)| (u, MachineId(m)))
+                .collect();
+            assert_eq!(from_iter, from_slices);
+        }
+    }
+
+    #[test]
+    fn machine_counts_match_slot_lanes() {
+        let (g, ms) = setup();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
+        let d = DistributedGraph::new(&g, &a);
+        let (out, inn) = d.machine_counts().expect("2 machines is under the cap");
+        let p = 2usize;
+        for v in g.vertices() {
+            for m in 0..p {
+                let expect_out = d.out_adj(v).1.iter().filter(|&&s| s as usize == m).count();
+                assert_eq!(
+                    out[v as usize * p + m] as usize,
+                    expect_out,
+                    "out v={v} m={m}"
+                );
+                let expect_in = d.in_adj(v).1.iter().filter(|&&s| s as usize == m).count();
+                assert_eq!(
+                    inn[v as usize * p + m] as usize,
+                    expect_in,
+                    "in v={v} m={m}"
+                );
+            }
+        }
+        // Cached: a second call hands back the same tables.
+        let again = d.machine_counts().unwrap();
+        assert!(std::ptr::eq(out, again.0) && std::ptr::eq(inn, again.1));
+    }
+
+    #[test]
+    fn machine_counts_absent_above_machine_cap() {
+        let (g, _) = setup();
+        let a = PartitionAssignment::from_edge_machines(&g, 9, vec![0, 1, 2, 8]);
+        let d = DistributedGraph::new(&g, &a);
+        assert!(d.machine_counts().is_none(), "9 machines exceeds the cap");
     }
 
     #[test]

@@ -41,8 +41,10 @@ pub enum ActiveInit {
 pub trait GasProgram: Sync {
     /// Per-vertex state.
     type VertexData: Clone + Send + Sync;
-    /// Gather accumulator.
-    type Accum: Clone + Send;
+    /// Gather accumulator. `Sync` lets the kernel share a per-source
+    /// contribution table across worker threads (see
+    /// [`gather_by_source`](Self::gather_by_source)).
+    type Accum: Clone + Send + Sync;
 
     /// Application name (keys the CCR pool).
     fn name(&self) -> &'static str;
@@ -68,6 +70,44 @@ pub trait GasProgram: Sync {
         v: VertexId,
         u: VertexId,
     ) -> (Option<Self::Accum>, f64);
+
+    /// Declares that [`gather`](Self::gather) is *source-only*: for every
+    /// edge it returns `(Some(c), 1.0)` where `c` depends only on the
+    /// gathered source vertex `u` — never on the gathering vertex `v`.
+    /// Default: `false`.
+    ///
+    /// When true, [`source_gather`](Self::source_gather) must be
+    /// implemented, and the kernel may evaluate the contribution **once
+    /// per source vertex per superstep** into a dense table and replay it
+    /// per edge, instead of recomputing it for every edge. The values and
+    /// accumulation order are unchanged, so results stay bit-identical;
+    /// only redundant per-edge arithmetic is removed. Worth opting into
+    /// when gather does real math per edge (e.g. PageRank's
+    /// `data[u] / out_degree(u)` division); a plain `data[u]` read is
+    /// cheaper replayed directly than through a table entry.
+    ///
+    /// Contract for opt-in programs: `gather(graph, data, v, u)` must
+    /// equal `(Some(source_gather(graph, data, u)), 1.0)` for every `v`
+    /// (the kernel debug-asserts this while filling the table), and
+    /// `source_gather` must be total (no panics) for *any* vertex `u`,
+    /// including vertices that never appear as a gather source (the table
+    /// is filled for all of them; an unread `inf` from a zero out-degree
+    /// is fine, a panic is not).
+    fn gather_by_source(&self) -> bool {
+        false
+    }
+
+    /// The source-only gather contribution of vertex `u` (see
+    /// [`gather_by_source`](Self::gather_by_source)). Only called when
+    /// `gather_by_source()` returns `true`.
+    fn source_gather(
+        &self,
+        _graph: &Graph,
+        _data: &[Self::VertexData],
+        _u: VertexId,
+    ) -> Self::Accum {
+        unreachable!("gather_by_source() is true but source_gather() is not implemented")
+    }
 
     /// Commutative, associative combination of accumulators.
     fn sum(&self, a: Self::Accum, b: Self::Accum) -> Self::Accum;

@@ -22,12 +22,43 @@
 //! full `SimReport` JSON against the pre-unification serial engine at 1,
 //! 2, and 4 threads.
 //!
-//! The hot path avoids per-superstep allocation churn: the active list,
-//! changed list, and activation bitsets are reused across supersteps, the
-//! chunk slices are derived from index arithmetic instead of a collected
-//! `Vec<&[u32]>`, and the per-chunk scratch buffers (work counts, sync
-//! counts, change lists) cycle through a [`Pool`] so a superstep reuses
-//! the previous superstep's allocations.
+//! **The hot path is engineered for raw throughput** (see DESIGN.md §3b,
+//! "kernel fast path"):
+//!
+//! - the active set lives in a [`FrontierSet`] — activations insert into
+//!   a bitmap with dirty-word tracking, and the next step's sorted
+//!   frontier is extracted sparsely or densely by occupancy, clearing
+//!   only the words that were actually touched (no per-step O(n) clear);
+//! - the CSR gather and scatter scans run over raw adjacency slices
+//!   ([`DistributedGraph::out_adj`]/[`in_adj`](DistributedGraph::in_adj))
+//!   as tight zip loops — measured faster here than manual unrolling or
+//!   software prefetch, both of which lost to the hardware prefetcher on
+//!   these sequential lanes (see DESIGN.md §3b for the numbers);
+//! - source-only gather programs ([`GasProgram::gather_by_source`], e.g.
+//!   PageRank's `rank/out_degree`) evaluate their contribution **once per
+//!   source vertex per superstep** into a dense table when the frontier
+//!   is dense enough, and the scans replay table entries per edge instead
+//!   of recomputing — same values, same fold order, bit-identical output;
+//! - unit-per-edge work attribution (scatter always, gather in table
+//!   mode) charges precomputed per-row machine counts
+//!   ([`DistributedGraph::machine_counts`]) — `p` adds per vertex instead
+//!   of a machine-lane load and indexed add per edge; the tallies are
+//!   integer-valued either way, so the `f64` sums are bit-identical;
+//! - per-chunk work tallies are structure-of-arrays — a bare `f64` lane
+//!   for gather edge work plus `u64` lanes for the unit-sized counts —
+//!   instead of `Vec<WorkCounts>`, and integer counts convert to the
+//!   identical `f64` sums the old accumulation produced;
+//! - at one host thread the kernel bypasses the scheduler entirely: a
+//!   single in-order chunk walk with persistent scratch buffers, and
+//!   scatter inserts activations straight into the frontier bitmap (no
+//!   staging list — set-insert order cannot affect a set), so a
+//!   steady-state superstep performs **zero heap allocations**
+//!   (`tests/engine_alloc.rs` counts them); at two or more threads both
+//!   the gather and scatter chunk buffers cycle through a [`Pool`].
+//!
+//! None of this changes a single output bit: per-chunk partials are
+//! folded in fixed-`CHUNK` order on both paths, so even the
+//! floating-point work sums associate identically.
 //!
 //! Note the distinction between the two kinds of time here: the thread
 //! budget changes how long the *host* takes to compute the simulation; the
@@ -39,7 +70,7 @@ use hetgraph_cluster::{
 };
 use hetgraph_core::obs::{Recorder, TraceEvent, NOOP};
 use hetgraph_core::par::{scheduled, Pool};
-use hetgraph_core::{BitSet, Graph, MachineId, VertexId};
+use hetgraph_core::{FrontierSet, Graph, VertexId};
 use hetgraph_partition::PartitionAssignment;
 
 use crate::distributed::DistributedGraph;
@@ -51,6 +82,12 @@ use crate::report::SimReport;
 /// (never derived from the thread count) so chunk boundaries — and hence
 /// every floating-point merge — are identical at any thread budget.
 const CHUNK: usize = 1_024;
+
+/// Minimum frontier density (as a fraction `n / SOURCE_TABLE_DIVISOR`) at
+/// which a source-only gather switches to the per-source contribution
+/// table. Below it, filling all `n` entries costs more than the per-edge
+/// recomputation it saves.
+const SOURCE_TABLE_DIVISOR: usize = 8;
 
 /// The execution engine: runs a [`GasProgram`] over a partitioned graph on
 /// a simulated heterogeneous cluster.
@@ -69,12 +106,15 @@ pub struct SimOutcome<D> {
     pub report: SimReport,
 }
 
-/// Per-chunk result of the gather/apply phase. The buffers are pooled:
-/// after the merge drains them they go back to the [`Pool`] for the next
-/// superstep's chunks.
+/// Per-chunk result of the gather/apply phase, structure-of-arrays: one
+/// `f64` lane for the (possibly fractional) gather edge work and `u64`
+/// lanes for the unit-sized counts, indexed by machine. The buffers are
+/// pooled: after the merge drains them they go back to the [`Pool`] for
+/// the next superstep's chunks.
 struct GatherChunk<D> {
     changes: Vec<(VertexId, D, bool)>,
-    work: Vec<WorkCounts>,
+    edge_work: Vec<f64>,
+    vertex_count: Vec<u64>,
     sync_counts: Vec<u64>,
 }
 
@@ -82,7 +122,8 @@ impl<D> GatherChunk<D> {
     fn new(p: usize) -> Self {
         GatherChunk {
             changes: Vec::new(),
-            work: vec![WorkCounts::zero(); p],
+            edge_work: vec![0.0f64; p],
+            vertex_count: vec![0u64; p],
             sync_counts: vec![0u64; p],
         }
     }
@@ -90,31 +131,30 @@ impl<D> GatherChunk<D> {
     /// Reset for reuse; `changes` is expected to be already drained.
     fn recycle(&mut self) {
         debug_assert!(self.changes.is_empty(), "changes must be drained first");
-        for w in &mut self.work {
-            *w = WorkCounts::zero();
-        }
+        self.edge_work.fill(0.0);
+        self.vertex_count.fill(0);
         self.sync_counts.fill(0);
     }
 }
 
 /// Per-chunk result of the scatter phase, pooled like [`GatherChunk`].
+/// Scatter edge work is always one unit per edge, so the tally is a bare
+/// `u64` lane.
 struct ScatterChunk {
-    work: Vec<WorkCounts>,
+    edge_count: Vec<u64>,
     activations: Vec<VertexId>,
 }
 
 impl ScatterChunk {
     fn new(p: usize) -> Self {
         ScatterChunk {
-            work: vec![WorkCounts::zero(); p],
+            edge_count: vec![0u64; p],
             activations: Vec::new(),
         }
     }
 
     fn recycle(&mut self) {
-        for w in &mut self.work {
-            *w = WorkCounts::zero();
-        }
+        self.edge_count.fill(0);
         self.activations.clear();
     }
 }
@@ -272,14 +312,18 @@ impl<'a> SimEngine<'a> {
         let energy_model = EnergyModel::new(machines.to_vec());
 
         let mut data: Vec<P::VertexData> = (0..n as u32).map(|v| program.init(graph, v)).collect();
-        let mut active = match program.initial_active(graph) {
-            ActiveInit::All => BitSet::full(n),
-            ActiveInit::Seeds(seeds) => {
-                let mut s = BitSet::new(n);
-                for v in seeds {
-                    s.insert(v as usize);
+        // The frontier lives as a sorted, deduplicated `Vec<u32>`; scatter
+        // collects next-step activations in a `FrontierSet` whose hybrid
+        // extraction rebuilds this list between supersteps.
+        let mut frontier: Vec<u32> = match program.initial_active(graph) {
+            ActiveInit::All => (0..n as u32).collect(),
+            ActiveInit::Seeds(mut seeds) => {
+                for &v in &seeds {
+                    assert!((v as usize) < n, "seed vertex {v} out of range");
                 }
-                s
+                seeds.sort_unstable();
+                seeds.dedup();
+                seeds
             }
         };
 
@@ -294,14 +338,36 @@ impl<'a> SimEngine<'a> {
         let mut steps: Vec<crate::report::StepRecord> = Vec::new();
 
         // Buffers reused across supersteps (see module docs).
-        let mut active_list: Vec<u32> = Vec::new();
         let mut changed: Vec<u32> = Vec::new();
-        let mut next_active = BitSet::new(n);
+        let mut next_frontier = FrontierSet::new(n);
         let mut step_work = vec![WorkCounts::zero(); p];
         let mut sync_counts = vec![0u64; p];
         let mut busy = vec![0.0f64; p];
         let gather_pool: Pool<GatherChunk<P::VertexData>> = Pool::new();
         let scatter_pool: Pool<ScatterChunk> = Pool::new();
+        // Serial fast-path scratch: one set of per-chunk tallies plus a
+        // step-level staging area for the applies (committed only after
+        // the full gather scan — the Jacobi barrier). Allocated once;
+        // steady-state supersteps reuse the grown capacity.
+        let serial = host_threads == 1;
+        let mut s_changes: Vec<(VertexId, P::VertexData, bool)> = Vec::new();
+        let mut s_edge_work = vec![0.0f64; p];
+        let mut s_vertex_count = vec![0u64; p];
+        let mut s_sync = vec![0u64; p];
+        let mut s_scatter_count = vec![0u64; p];
+        // Source-contribution table for programs whose gather depends only
+        // on the gathered vertex (see `GasProgram::gather_by_source`):
+        // evaluated once per source per superstep on dense frontiers,
+        // replayed per edge. Same values, same accumulation order — only
+        // the redundant per-edge recomputation is gone.
+        let by_source = program.gather_by_source() && program.gather_direction() != Direction::None;
+        let mut source_table: Vec<P::Accum> = Vec::with_capacity(if by_source { n } else { 0 });
+        // Per-vertex per-machine slot counts, for unit-per-edge work
+        // attribution without touching the machine lanes (built lazily on
+        // first use, shared across runs on the same view). `None` on
+        // clusters too large for the tables; the scans then fall back to
+        // the per-edge machine lane.
+        let counts = dist.machine_counts();
 
         // Observability: with the default NoopRecorder this one branch is
         // the entire per-superstep cost of instrumentation. Sim-domain
@@ -315,12 +381,11 @@ impl<'a> SimEngine<'a> {
         let mut gather_work = vec![WorkCounts::zero(); p];
 
         for step in 0..program.max_supersteps() {
-            if active.is_empty() {
+            if frontier.is_empty() {
                 converged = true;
                 break;
             }
-            active_list.clear();
-            active_list.extend(active.iter().map(|v| v as u32));
+            let active_count = frontier.len();
             for w in &mut step_work {
                 *w = WorkCounts::zero();
             }
@@ -328,40 +393,131 @@ impl<'a> SimEngine<'a> {
 
             // --- Gather + Apply (reads previous-step data), fanned out ---
             let wall_gather_t0 = if tracing { recorder.now_us() } else { 0.0 };
-            let n_chunks = active_list.len().div_ceil(CHUNK);
-            let gathered: Vec<GatherChunk<P::VertexData>> =
-                scheduled(n_chunks, host_threads, |idx| {
-                    let lo = idx * CHUNK;
-                    let hi = (lo + CHUNK).min(active_list.len());
-                    let mut out = gather_pool.take(|| GatherChunk::new(p));
-                    gather_chunk(
-                        &mut out,
-                        &active_list[lo..hi],
-                        graph,
-                        dist,
-                        assignment,
-                        program,
-                        &data,
-                        step,
-                    );
-                    out
-                });
-
-            // --- Merge in chunk order, commit applies (Jacobi barrier) ---
             changed.clear();
-            for mut c in gathered {
-                for i in 0..p {
-                    step_work[i].add(c.work[i]);
-                    sync_counts[i] += c.sync_counts[i];
+            let n_chunks = frontier.len().div_ceil(CHUNK);
+            // Filling the table costs O(n); it pays off only when the
+            // frontier is dense enough that many edges replay each entry.
+            // Both paths produce identical bits, so this is purely a
+            // speed heuristic.
+            let use_table = by_source && active_count >= n / SOURCE_TABLE_DIVISOR;
+            if use_table {
+                source_table.clear();
+                source_table.extend((0..n as u32).map(|u| {
+                    let c = program.source_gather(graph, &data, u);
+                    debug_assert!(
+                        {
+                            let (pc, pw) = program.gather(graph, &data, u, u);
+                            pw == 1.0 && pc.is_some()
+                        },
+                        "gather_by_source contract violated for vertex {u}"
+                    );
+                    c
+                }));
+            }
+            let table: Option<&[P::Accum]> = if use_table { Some(&source_table) } else { None };
+            if serial {
+                // One-thread fast path: in-order chunk walk, no scheduler,
+                // no pool round-trips, no per-step allocation. Per-chunk
+                // tallies fold in chunk order so every f64 sum associates
+                // exactly as on the parallel path.
+                debug_assert!(s_changes.is_empty());
+                for idx in 0..n_chunks {
+                    let lo = idx * CHUNK;
+                    let hi = (lo + CHUNK).min(frontier.len());
+                    s_edge_work.fill(0.0);
+                    s_vertex_count.fill(0);
+                    s_sync.fill(0);
+                    if let Some(t) = table {
+                        // In table mode gather reads only the snapshot
+                        // table — never `data` — so applies commit in
+                        // place during the scan: `data[v]` is written at
+                        // `v`'s own turn and no later gather observes it,
+                        // so the Jacobi barrier holds with no staging
+                        // pass. Same inputs to every `apply`, same
+                        // `changed` order: bit-identical to staging.
+                        gather_apply_table_inplace(
+                            &mut data,
+                            &mut changed,
+                            &mut s_edge_work,
+                            &mut s_vertex_count,
+                            &mut s_sync,
+                            &frontier[lo..hi],
+                            graph,
+                            dist,
+                            assignment,
+                            program,
+                            t,
+                            step,
+                        );
+                    } else {
+                        gather_chunk(
+                            &mut s_changes,
+                            &mut s_edge_work,
+                            &mut s_vertex_count,
+                            &mut s_sync,
+                            &frontier[lo..hi],
+                            graph,
+                            dist,
+                            assignment,
+                            program,
+                            &data,
+                            table,
+                            step,
+                        );
+                    }
+                    for i in 0..p {
+                        step_work[i].edge_units += s_edge_work[i];
+                        step_work[i].vertex_units += s_vertex_count[i] as f64;
+                        sync_counts[i] += s_sync[i];
+                    }
                 }
-                for (v, nd, did_change) in c.changes.drain(..) {
+                // Jacobi barrier: commit the staged applies only after the
+                // whole frontier has gathered against previous-step data.
+                for (v, nd, did_change) in s_changes.drain(..) {
                     data[v as usize] = nd;
                     if did_change {
                         changed.push(v);
                     }
                 }
-                c.recycle();
-                gather_pool.put(c);
+            } else {
+                let gathered: Vec<GatherChunk<P::VertexData>> =
+                    scheduled(n_chunks, host_threads, |idx| {
+                        let lo = idx * CHUNK;
+                        let hi = (lo + CHUNK).min(frontier.len());
+                        let mut out = gather_pool.take(|| GatherChunk::new(p));
+                        gather_chunk(
+                            &mut out.changes,
+                            &mut out.edge_work,
+                            &mut out.vertex_count,
+                            &mut out.sync_counts,
+                            &frontier[lo..hi],
+                            graph,
+                            dist,
+                            assignment,
+                            program,
+                            &data,
+                            table,
+                            step,
+                        );
+                        out
+                    });
+
+                // Merge in chunk order, commit applies (Jacobi barrier).
+                for mut c in gathered {
+                    for i in 0..p {
+                        step_work[i].edge_units += c.edge_work[i];
+                        step_work[i].vertex_units += c.vertex_count[i] as f64;
+                        sync_counts[i] += c.sync_counts[i];
+                    }
+                    for (v, nd, did_change) in c.changes.drain(..) {
+                        data[v as usize] = nd;
+                        if did_change {
+                            changed.push(v);
+                        }
+                    }
+                    c.recycle();
+                    gather_pool.put(c);
+                }
             }
             if tracing {
                 gather_work.copy_from_slice(&step_work);
@@ -377,25 +533,56 @@ impl<'a> SimEngine<'a> {
 
             // --- Scatter (sees post-apply data), fanned out over changed ---
             let wall_scatter_t0 = if tracing { recorder.now_us() } else { 0.0 };
-            next_active.clear();
+            debug_assert!(next_frontier.is_empty(), "frontier drained last step");
             if program.scatter_direction() != Direction::None && !changed.is_empty() {
                 let n_sc_chunks = changed.len().div_ceil(CHUNK);
-                let scattered: Vec<ScatterChunk> = scheduled(n_sc_chunks, host_threads, |idx| {
-                    let lo = idx * CHUNK;
-                    let hi = (lo + CHUNK).min(changed.len());
-                    let mut out = scatter_pool.take(|| ScatterChunk::new(p));
-                    scatter_chunk(&mut out, &changed[lo..hi], graph, dist, program, &data);
-                    out
-                });
-                for mut c in scattered {
-                    for (i, w) in step_work.iter_mut().enumerate().take(p) {
-                        w.add(c.work[i]);
+                if serial {
+                    // Activations go straight into the frontier bitmap —
+                    // no staging list. Scatter tallies are integer-valued,
+                    // so folding them once per scan (instead of once per
+                    // chunk) yields the identical exact `f64` sums.
+                    s_scatter_count.fill(0);
+                    scatter_direct(
+                        &mut s_scatter_count,
+                        &mut next_frontier,
+                        &changed,
+                        graph,
+                        dist,
+                        program,
+                        &data,
+                        counts,
+                    );
+                    for (w, &c) in step_work.iter_mut().zip(s_scatter_count.iter()) {
+                        w.edge_units += c as f64;
                     }
-                    for &u in &c.activations {
-                        next_active.insert(u as usize);
+                } else {
+                    let scattered: Vec<ScatterChunk> =
+                        scheduled(n_sc_chunks, host_threads, |idx| {
+                            let lo = idx * CHUNK;
+                            let hi = (lo + CHUNK).min(changed.len());
+                            let mut out = scatter_pool.take(|| ScatterChunk::new(p));
+                            scatter_chunk(
+                                &mut out.edge_count,
+                                &mut out.activations,
+                                &changed[lo..hi],
+                                graph,
+                                dist,
+                                program,
+                                &data,
+                                counts,
+                            );
+                            out
+                        });
+                    for mut c in scattered {
+                        for (w, &n) in step_work.iter_mut().zip(c.edge_count.iter()) {
+                            w.edge_units += n as f64;
+                        }
+                        for &u in &c.activations {
+                            next_frontier.insert(u);
+                        }
+                        c.recycle();
+                        scatter_pool.put(c);
                     }
-                    c.recycle();
-                    scatter_pool.put(c);
                 }
             }
             if tracing {
@@ -433,12 +620,12 @@ impl<'a> SimEngine<'a> {
                         step_start_s: makespan,
                         step_compute,
                         step_comm,
-                        active: active_list.len(),
+                        active: active_count,
                     },
                 );
                 steps.push(crate::report::StepRecord {
                     step,
-                    active: active_list.len(),
+                    active: active_count,
                     busy_s: busy.clone(),
                     comm_s: step_comm,
                     wall_s: step_wall,
@@ -448,9 +635,11 @@ impl<'a> SimEngine<'a> {
             compute_total += step_compute;
             comm_total += step_comm;
             supersteps += 1;
-            std::mem::swap(&mut active, &mut next_active);
+            // Hybrid extraction: rebuilds the sorted frontier and zeroes
+            // only the bitmap words scatter actually touched.
+            next_frontier.extract_into(&mut frontier);
         }
-        if active.is_empty() {
+        if frontier.is_empty() {
             converged = true;
         }
 
@@ -605,105 +794,308 @@ fn emit_step_trace(recorder: &dyn Recorder, s: &EmitStep<'_>) {
     ));
 }
 
+/// Charge one unit of scatter edge work per adjacency slot to its owning
+/// machine: `p` adds from the precomputed row counts when the tables
+/// exist, else one machine-lane load and add per edge. The tallies are
+/// integers either way, so the sums are identical.
+#[inline(always)]
+fn charge_unit_row_u64(edge_count: &mut [u64], machines: &[u16], row_counts: Option<&[u32]>) {
+    match row_counts {
+        Some(rc) => {
+            for (w, &c) in edge_count.iter_mut().zip(rc) {
+                *w += c as u64;
+            }
+        }
+        None => {
+            for &m in machines {
+                edge_count[m as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Slice vertex `v`'s row out of a whole-graph machine-count table.
+#[inline(always)]
+fn count_row(table: Option<&[u32]>, v: VertexId, p: usize) -> Option<&[u32]> {
+    table.map(|rc| &rc[v as usize * p..v as usize * p + p])
+}
+
+/// Scan one adjacency row in table mode: replay the per-source table
+/// entry for each edge and charge one work unit to the edge's machine,
+/// fused in a single zip loop (measured faster than separate charge and
+/// fold passes over short power-law rows). The accumulator folds strictly
+/// in edge order — the same association as the general per-edge path, as
+/// the determinism contract requires.
+#[inline(always)]
+fn fold_table_row_fused<P: GasProgram>(
+    program: &P,
+    t: &[P::Accum],
+    targets: &[VertexId],
+    machines: &[u16],
+    edge_work: &mut [f64],
+    acc: &mut Option<P::Accum>,
+) {
+    debug_assert_eq!(targets.len(), machines.len());
+    for (&u, &m) in targets.iter().zip(machines.iter()) {
+        edge_work[m as usize] += 1.0;
+        let c = t[u as usize].clone();
+        *acc = Some(match acc.take() {
+            Some(prev) => program.sum(prev, c),
+            None => c,
+        });
+    }
+}
+
+/// Per-active-vertex accounting shared by the staged and in-place gather
+/// scans: charge the master one vertex unit, then charge mirror
+/// synchronization — an active vertex exchanges one message per mirror
+/// in each direction, so the master is charged once per mirror and each
+/// mirror once.
+#[inline(always)]
+fn charge_vertex(
+    assignment: &PartitionAssignment,
+    v: VertexId,
+    vertex_count: &mut [u64],
+    sync_counts: &mut [u64],
+) {
+    let master = assignment.master(v).index();
+    vertex_count[master] += 1;
+    let mask = assignment.replica_mask(v);
+    let replicas = mask.count_ones();
+    if replicas > 1 {
+        sync_counts[master] += (replicas - 1) as u64;
+        let mut rest = mask;
+        while rest != 0 {
+            let m = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            if m != master {
+                sync_counts[m] += 1;
+            }
+        }
+    }
+}
+
+/// Gather + apply for one chunk of frontier vertices, accumulating into
+/// the caller's structure-of-arrays tallies. Shared verbatim by the
+/// serial fast path and the pooled parallel path, so both produce
+/// bit-identical per-chunk partials.
 #[allow(clippy::too_many_arguments)]
 fn gather_chunk<P: GasProgram>(
-    out: &mut GatherChunk<P::VertexData>,
+    changes: &mut Vec<(VertexId, P::VertexData, bool)>,
+    edge_work: &mut [f64],
+    vertex_count: &mut [u64],
+    sync_counts: &mut [u64],
     chunk: &[u32],
     graph: &Graph,
     dist: &DistributedGraph<'_>,
     assignment: &PartitionAssignment,
     program: &P,
     data: &[P::VertexData],
+    table: Option<&[P::Accum]>,
     step: usize,
 ) {
-    let GatherChunk {
-        changes,
-        work,
-        sync_counts,
-    } = out;
+    let dir = program.gather_direction();
     changes.reserve(chunk.len());
     for &v in chunk {
         let mut acc: Option<P::Accum> = None;
-        for_each_neighbor(dist, v, program.gather_direction(), |u, m| {
-            let (contrib, w) = program.gather(graph, data, v, u);
-            work[m.index()].edge_units += w;
-            if let Some(c) = contrib {
-                acc = Some(match acc.take() {
-                    Some(prev) => program.sum(prev, c),
-                    None => c,
-                });
+        match table {
+            // Table mode: every edge contributes `Some(t[u])` at exactly
+            // one work unit (the source-only contract), so the scan is a
+            // pure table replay.
+            Some(t) => {
+                if matches!(dir, Direction::In | Direction::Both) {
+                    let (targets, machines) = dist.in_adj(v);
+                    fold_table_row_fused(program, t, targets, machines, edge_work, &mut acc);
+                }
+                if matches!(dir, Direction::Out | Direction::Both) {
+                    let (targets, machines) = dist.out_adj(v);
+                    fold_table_row_fused(program, t, targets, machines, edge_work, &mut acc);
+                }
             }
-        });
-        let master = assignment.master(v);
-        work[master.index()].vertex_units += 1.0;
+            None => match dir {
+                Direction::In => {
+                    let (t, m) = dist.in_adj(v);
+                    gather_adj(program, graph, data, v, t, m, edge_work, &mut acc);
+                }
+                Direction::Out => {
+                    let (t, m) = dist.out_adj(v);
+                    gather_adj(program, graph, data, v, t, m, edge_work, &mut acc);
+                }
+                Direction::Both => {
+                    let (t, m) = dist.in_adj(v);
+                    gather_adj(program, graph, data, v, t, m, edge_work, &mut acc);
+                    let (t, m) = dist.out_adj(v);
+                    gather_adj(program, graph, data, v, t, m, edge_work, &mut acc);
+                }
+                Direction::None => {}
+            },
+        }
         let (nd, did_change) = program.apply(graph, v, &data[v as usize], acc, step);
         changes.push((v, nd, did_change));
+        charge_vertex(assignment, v, vertex_count, sync_counts);
+    }
+}
 
-        // Mirror synchronization: an active vertex exchanges one message
-        // per mirror in each direction; charge the master once per mirror
-        // and each mirror once.
-        let mask = assignment.replica_mask(v);
-        let replicas = mask.count_ones();
-        if replicas > 1 {
-            sync_counts[master.index()] += (replicas - 1) as u64;
-            let mut rest = mask;
-            while rest != 0 {
-                let m = rest.trailing_zeros() as usize;
-                rest &= rest - 1;
-                if m != master.index() {
-                    sync_counts[m] += 1;
+/// [`gather_chunk`] for the serial path in table mode, committing each
+/// apply **in place** instead of staging it. Sound because table-mode
+/// gather reads only the per-source snapshot table — never `data` — and
+/// `data[v]` is written at `v`'s own turn, so no gather in this superstep
+/// observes a committed value (the Jacobi barrier holds with no staging
+/// pass). Every `apply` sees the same inputs and `changed` fills in the
+/// same frontier order, so the output is bit-identical to staging.
+#[allow(clippy::too_many_arguments)]
+fn gather_apply_table_inplace<P: GasProgram>(
+    data: &mut [P::VertexData],
+    changed: &mut Vec<u32>,
+    edge_work: &mut [f64],
+    vertex_count: &mut [u64],
+    sync_counts: &mut [u64],
+    chunk: &[u32],
+    graph: &Graph,
+    dist: &DistributedGraph<'_>,
+    assignment: &PartitionAssignment,
+    program: &P,
+    t: &[P::Accum],
+    step: usize,
+) {
+    let dir = program.gather_direction();
+    for &v in chunk {
+        let mut acc: Option<P::Accum> = None;
+        if matches!(dir, Direction::In | Direction::Both) {
+            let (targets, machines) = dist.in_adj(v);
+            fold_table_row_fused(program, t, targets, machines, edge_work, &mut acc);
+        }
+        if matches!(dir, Direction::Out | Direction::Both) {
+            let (targets, machines) = dist.out_adj(v);
+            fold_table_row_fused(program, t, targets, machines, edge_work, &mut acc);
+        }
+        let (nd, did_change) = program.apply(graph, v, &data[v as usize], acc, step);
+        data[v as usize] = nd;
+        if did_change {
+            changed.push(v);
+        }
+        charge_vertex(assignment, v, vertex_count, sync_counts);
+    }
+}
+
+/// Scan one adjacency row for the general (non-table) gather: the
+/// accumulator folds strictly in edge order — the same association as a
+/// plain loop, as the determinism contract requires.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gather_adj<P: GasProgram>(
+    program: &P,
+    graph: &Graph,
+    data: &[P::VertexData],
+    v: VertexId,
+    targets: &[VertexId],
+    machines: &[u16],
+    edge_work: &mut [f64],
+    acc: &mut Option<P::Accum>,
+) {
+    debug_assert_eq!(targets.len(), machines.len());
+    for (&u, &m) in targets.iter().zip(machines.iter()) {
+        gather_edge(program, graph, data, v, u, m, edge_work, acc);
+    }
+}
+
+/// One gather edge: charge its owner and fold the contribution.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn gather_edge<P: GasProgram>(
+    program: &P,
+    graph: &Graph,
+    data: &[P::VertexData],
+    v: VertexId,
+    u: VertexId,
+    m: u16,
+    edge_work: &mut [f64],
+    acc: &mut Option<P::Accum>,
+) {
+    let (contrib, w) = program.gather(graph, data, v, u);
+    edge_work[m as usize] += w;
+    if let Some(c) = contrib {
+        *acc = Some(match acc.take() {
+            Some(prev) => program.sum(prev, c),
+            None => c,
+        });
+    }
+}
+
+/// Serial scatter over the whole changed list: one edge unit per
+/// adjacency slot on its owning machine, activations inserted straight
+/// into the next frontier (insert order cannot affect a set).
+#[allow(clippy::too_many_arguments)]
+fn scatter_direct<P: GasProgram>(
+    edge_count: &mut [u64],
+    frontier: &mut FrontierSet,
+    changed: &[u32],
+    graph: &Graph,
+    dist: &DistributedGraph<'_>,
+    program: &P,
+    data: &[P::VertexData],
+    counts: Option<(&[u32], &[u32])>,
+) {
+    let dir = program.scatter_direction();
+    let p = edge_count.len();
+    let (out_counts, in_counts) = (counts.map(|c| c.0), counts.map(|c| c.1));
+    for &v in changed {
+        if matches!(dir, Direction::In | Direction::Both) {
+            let (t, m) = dist.in_adj(v);
+            charge_unit_row_u64(edge_count, m, count_row(in_counts, v, p));
+            for &u in t {
+                if program.scatter_activates(graph, data, v, u, true) {
+                    frontier.insert(u);
+                }
+            }
+        }
+        if matches!(dir, Direction::Out | Direction::Both) {
+            let (t, m) = dist.out_adj(v);
+            charge_unit_row_u64(edge_count, m, count_row(out_counts, v, p));
+            for &u in t {
+                if program.scatter_activates(graph, data, v, u, true) {
+                    frontier.insert(u);
                 }
             }
         }
     }
 }
 
+/// Scatter for one chunk of changed vertices: one edge unit per adjacency
+/// slot on its owning machine, activations appended in scan order.
+#[allow(clippy::too_many_arguments)]
 fn scatter_chunk<P: GasProgram>(
-    out: &mut ScatterChunk,
+    edge_count: &mut [u64],
+    activations: &mut Vec<VertexId>,
     chunk: &[u32],
     graph: &Graph,
     dist: &DistributedGraph<'_>,
     program: &P,
     data: &[P::VertexData],
+    counts: Option<(&[u32], &[u32])>,
 ) {
-    let ScatterChunk { work, activations } = out;
+    let dir = program.scatter_direction();
+    let p = edge_count.len();
+    let (out_counts, in_counts) = (counts.map(|c| c.0), counts.map(|c| c.1));
     for &v in chunk {
-        for_each_neighbor(dist, v, program.scatter_direction(), |u, m| {
-            work[m.index()].edge_units += 1.0;
-            if program.scatter_activates(graph, data, v, u, true) {
-                activations.push(u);
-            }
-        });
-    }
-}
-
-/// Visit each neighbor of `v` in the given direction with its edge owner.
-fn for_each_neighbor(
-    dist: &DistributedGraph<'_>,
-    v: VertexId,
-    dir: Direction,
-    mut f: impl FnMut(VertexId, MachineId),
-) {
-    match dir {
-        Direction::In => {
-            for (u, m) in dist.in_neighbors_owned(v) {
-                f(u, m);
+        if matches!(dir, Direction::In | Direction::Both) {
+            let (t, m) = dist.in_adj(v);
+            charge_unit_row_u64(edge_count, m, count_row(in_counts, v, p));
+            for &u in t {
+                if program.scatter_activates(graph, data, v, u, true) {
+                    activations.push(u);
+                }
             }
         }
-        Direction::Out => {
-            for (u, m) in dist.out_neighbors_owned(v) {
-                f(u, m);
+        if matches!(dir, Direction::Out | Direction::Both) {
+            let (t, m) = dist.out_adj(v);
+            charge_unit_row_u64(edge_count, m, count_row(out_counts, v, p));
+            for &u in t {
+                if program.scatter_activates(graph, data, v, u, true) {
+                    activations.push(u);
+                }
             }
         }
-        Direction::Both => {
-            for (u, m) in dist.in_neighbors_owned(v) {
-                f(u, m);
-            }
-            for (u, m) in dist.out_neighbors_owned(v) {
-                f(u, m);
-            }
-        }
-        Direction::None => {}
     }
 }
 

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
-# Regenerate or verify the committed partition perf baseline,
-# BENCH_partition.json.
+# Regenerate or verify the committed perf baselines:
+# BENCH_partition.json (partitioner throughput) and BENCH_engine.json
+# (superstep-kernel throughput).
 #
-#   scripts/bench.sh            # release build + exp_partition --scale 1
+#   scripts/bench.sh            # release build + both experiments at --scale 1
 #   scripts/bench.sh --scale 8  # quicker smoke run (numbers not committed)
 #   scripts/bench.sh --check    # re-measure and gate against the committed
-#                               # baseline (wall-clock-tolerant; this is
+#                               # baselines (wall-clock-tolerant; this is
 #                               # what CI's bench-regression job runs)
 #
 # Fully offline, like scripts/check.sh: external crates resolve to path
 # stand-ins under third_party/, so nothing here touches the network.
 # The JSON lands at the repository root; commit it when the partitioner
-# hot paths change intentionally, with the speedup noted in the message.
+# or engine hot paths change intentionally, with the speedup noted in
+# the message.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,17 +39,23 @@ while [ "$#" -gt 0 ]; do
     esac
 done
 
-echo "==> cargo build --release -p hetgraph-bench --bin exp_partition"
-cargo build --release -p hetgraph-bench --bin exp_partition
+echo "==> cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine"
+cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine
 
 if [ "$check" -eq 1 ]; then
     echo "==> exp_partition --scale $scale --check BENCH_partition.json"
     ./target/release/exp_partition --scale "$scale" --check BENCH_partition.json
     echo
-    echo "bench.sh: check passed against BENCH_partition.json"
+    echo "==> exp_engine --scale $scale --check BENCH_engine.json"
+    ./target/release/exp_engine --scale "$scale" --check BENCH_engine.json
+    echo
+    echo "bench.sh: checks passed against BENCH_partition.json and BENCH_engine.json"
 else
     echo "==> exp_partition --scale $scale --out ."
     ./target/release/exp_partition --scale "$scale" --out .
     echo
-    echo "bench.sh: wrote BENCH_partition.json (scale $scale)"
+    echo "==> exp_engine --scale $scale --out ."
+    ./target/release/exp_engine --scale "$scale" --out .
+    echo
+    echo "bench.sh: wrote BENCH_partition.json and BENCH_engine.json (scale $scale)"
 fi

@@ -73,6 +73,7 @@ step cargo clippy --workspace --all-targets -- -D warnings
 
 echo
 echo "check.sh: all gates passed"
-echo "(optional: scripts/bench.sh regenerates BENCH_partition.json when"
-echo " partitioner hot paths change; scripts/bench.sh --check gates a"
-echo " fresh run against the committed baseline)"
+echo "(optional: scripts/bench.sh regenerates BENCH_partition.json and"
+echo " BENCH_engine.json when partitioner or engine hot paths change;"
+echo " scripts/bench.sh --check gates a fresh run against the committed"
+echo " baselines)"

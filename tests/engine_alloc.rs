@@ -1,0 +1,115 @@
+//! Steady-state allocation gate for the superstep kernel.
+//!
+//! The fast path pools its chunk scratch (and the serial path reuses
+//! persistent per-run buffers), so once the first superstep has sized
+//! everything, further supersteps must not allocate at all. This test
+//! pins that with a counting global allocator: two PageRank runs that
+//! differ only in iteration count must allocate the same number of
+//! times, because every allocation belongs to per-run setup (buffers
+//! sized by the graph, the report) — never to a superstep.
+//!
+//! Lives in its own integration-test binary because `#[global_allocator]`
+//! is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hetgraph_apps::PageRank;
+use hetgraph_cluster::Cluster;
+use hetgraph_engine::{DistributedGraph, SimEngine};
+use hetgraph_gen::PowerLawConfig;
+use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_supersteps_do_not_allocate() {
+    let graph = PowerLawConfig::new(3_000, 2.1).generate(7);
+    let cluster = Cluster::case2();
+    let weights = MachineWeights::uniform(cluster.len());
+    let assignment = RandomHash::new().partition(&graph, &weights);
+    let dist = DistributedGraph::new(&graph, &assignment);
+    let engine = SimEngine::new(&cluster);
+
+    // Warm up any lazily initialized process state (thread-local RNGs,
+    // stdout buffers, ...) outside the measured windows.
+    engine.run_on_with_threads(&dist, &PageRank::new(2), 1);
+
+    // PageRank with tolerance 0 keeps every vertex active, so all per-run
+    // buffers reach their final size during superstep 1 in both runs. Ten
+    // extra supersteps must therefore be allocation-free.
+    let short = allocations_during(|| {
+        engine.run_on_with_threads(&dist, &PageRank::new(2), 1);
+    });
+    let long = allocations_during(|| {
+        engine.run_on_with_threads(&dist, &PageRank::new(12), 1);
+    });
+    assert!(
+        long <= short,
+        "10 extra supersteps allocated {} extra times (short run: {short}, long run: {long})",
+        long - short
+    );
+}
+
+#[test]
+fn pooled_parallel_path_allocations_do_not_scale_with_chunk_count() {
+    // 40k vertices = ~40 gather chunks + ~40 scatter chunks per superstep.
+    // Without pooling, each chunk would cost several Vec allocations every
+    // step (hundreds per superstep). With pooling, the only per-step
+    // allocations left are the scoped worker spawn/join bookkeeping —
+    // a small constant per phase, independent of chunk count.
+    let graph = PowerLawConfig::new(40_000, 2.1).generate(7);
+    let cluster = Cluster::case2();
+    let weights = MachineWeights::uniform(cluster.len());
+    let assignment = RandomHash::new().partition(&graph, &weights);
+    let dist = DistributedGraph::new(&graph, &assignment);
+    let engine = SimEngine::new(&cluster);
+
+    engine.run_on_with_threads(&dist, &PageRank::new(2), 2);
+
+    let short = allocations_during(|| {
+        engine.run_on_with_threads(&dist, &PageRank::new(2), 2);
+    });
+    let long = allocations_during(|| {
+        engine.run_on_with_threads(&dist, &PageRank::new(12), 2);
+    });
+    let extra_steps = 10;
+    let per_step_budget = 80; // worker bookkeeping; unpooled chunks would need 300+
+    assert!(
+        long <= short + extra_steps * per_step_budget,
+        "{extra_steps} extra supersteps allocated {} extra times (short run: {short}, long run: {long})",
+        long.saturating_sub(short)
+    );
+}

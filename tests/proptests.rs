@@ -2,6 +2,7 @@
 
 use hetgraph::core::rng::Xoshiro256;
 use hetgraph::core::{io, Edge, EdgeList, Graph};
+use hetgraph::engine::Direction;
 use hetgraph::prelude::*;
 use proptest::prelude::*;
 
@@ -23,6 +24,76 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 /// Strategy: positive machine weights for 1..=6 machines.
 fn arb_weights() -> impl Strategy<Value = MachineWeights> {
     proptest::collection::vec(0.05f64..10.0, 1..=6).prop_map(|w| MachineWeights::new(&w))
+}
+
+/// A minimal source-only GAS program (each in-neighbor contributes half its
+/// value) with the per-source table opt-in as a runtime switch, so a pair of
+/// runs can pin the table path against the general per-edge gather.
+struct HalfRank {
+    iters: usize,
+    by_source: bool,
+}
+
+impl GasProgram for HalfRank {
+    type VertexData = f64;
+    type Accum = f64;
+
+    fn name(&self) -> &'static str {
+        "half_rank_proptest"
+    }
+
+    fn profile(&self) -> AppProfile {
+        PageRank::standard_profile()
+    }
+
+    fn init(&self, _graph: &Graph, v: VertexId) -> f64 {
+        f64::from(v % 7) + 1.0
+    }
+
+    fn gather_direction(&self) -> Direction {
+        Direction::In
+    }
+
+    fn gather(
+        &self,
+        _graph: &Graph,
+        data: &[f64],
+        _v: VertexId,
+        u: VertexId,
+    ) -> (Option<f64>, f64) {
+        (Some(data[u as usize] * 0.5), 1.0)
+    }
+
+    fn gather_by_source(&self) -> bool {
+        self.by_source
+    }
+
+    fn source_gather(&self, _graph: &Graph, data: &[f64], u: VertexId) -> f64 {
+        data[u as usize] * 0.5
+    }
+
+    fn sum(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn apply(
+        &self,
+        _graph: &Graph,
+        _v: VertexId,
+        _old: &f64,
+        acc: Option<f64>,
+        _superstep: usize,
+    ) -> (f64, bool) {
+        (acc.unwrap_or(0.0) + 0.25, true)
+    }
+
+    fn scatter_direction(&self) -> Direction {
+        Direction::Out
+    }
+
+    fn max_supersteps(&self) -> usize {
+        self.iters
+    }
 }
 
 proptest! {
@@ -213,6 +284,89 @@ proptest! {
         let a = engine.run(&g, &uniform, &ConnectedComponents::new()).data;
         let b = engine.run(&g, &skewed, &ConnectedComponents::new()).data;
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engine_output_is_thread_count_invariant(
+        g in arb_graph(),
+        w in arb_weights(),
+    ) {
+        // The kernel's speed machinery — hybrid frontier extraction, the
+        // per-source contribution table, in-place vs staged apply, pooled
+        // chunks — must never leak into results: the full SimReport JSON
+        // and the final vertex data are byte-identical at any host thread
+        // budget, for a table-mode app (PageRank), a sparse-frontier app
+        // (SSSP), and a shrinking-frontier app (k-core).
+        prop_assume!(w.len() >= 2);
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let engine = SimEngine::new(&cluster);
+        macro_rules! pin {
+            ($prog:expr) => {{
+                let prog = $prog;
+                let reference = engine.run_parallel(&g, &a, &prog, 1);
+                let ref_json = serde_json::to_string(&reference.report).unwrap();
+                for threads in [2usize, 4] {
+                    let par = engine.run_parallel(&g, &a, &prog, threads);
+                    prop_assert_eq!(&par.data, &reference.data);
+                    let par_json = serde_json::to_string(&par.report).unwrap();
+                    prop_assert_eq!(&par_json, &ref_json);
+                }
+            }};
+        }
+        pin!(PageRank::new(4));
+        pin!(Sssp::new(0));
+        pin!(KCore::new(2));
+    }
+
+    #[test]
+    fn source_table_gather_matches_general_gather(
+        g in arb_graph(),
+        iters in 1usize..6,
+    ) {
+        // Two copies of the same source-only program, one opting into the
+        // per-source contribution table and one running the general
+        // per-edge gather, must produce bit-identical data and reports —
+        // the table is a pure speed heuristic.
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let engine = SimEngine::new(&cluster);
+        let on = engine.run(&g, &a, &HalfRank { iters, by_source: true });
+        let off = engine.run(&g, &a, &HalfRank { iters, by_source: false });
+        prop_assert_eq!(on.data, off.data);
+        prop_assert_eq!(
+            serde_json::to_string(&on.report).unwrap(),
+            serde_json::to_string(&off.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn frontier_set_modes_agree_with_hashset(
+        ops in proptest::collection::vec(0u32..700, 1..300),
+        force_dense in any::<bool>(),
+    ) {
+        // Whatever extraction mode the occupancy heuristic would pick,
+        // both the sparse (dirty-word) and dense (full-scan) paths must
+        // produce the same sorted, deduplicated frontier — and leave the
+        // set fully cleared for reuse.
+        let mut fs = hetgraph::core::FrontierSet::new(700);
+        let mut hs = std::collections::BTreeSet::new();
+        for &i in &ops {
+            fs.insert(i);
+            hs.insert(i);
+        }
+        prop_assert_eq!(fs.len(), hs.len());
+        let mut out = Vec::new();
+        fs.extract_into_forced(&mut out, force_dense);
+        let expect: Vec<u32> = hs.into_iter().collect();
+        prop_assert_eq!(out, expect);
+        prop_assert!(fs.is_empty(), "extraction must drain the set");
+        // The set must be genuinely clean: a second round sees only the
+        // new inserts.
+        fs.insert(3);
+        let mut out2 = Vec::new();
+        fs.extract_into_forced(&mut out2, !force_dense);
+        prop_assert_eq!(out2, vec![3u32]);
     }
 
     #[test]
