@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use hetgraph_cluster::AppProfile;
 use hetgraph_core::{Graph, VertexId};
-use hetgraph_engine::{DistributedGraph, GasProgram, SimEngine, SimReport};
+use hetgraph_engine::{DistributedGraph, GasProgram, RebalancePolicy, SimEngine, SimReport};
 use hetgraph_partition::PartitionAssignment;
 
 use crate::coloring::Coloring;
@@ -64,6 +64,17 @@ pub trait AppSpec: Send + Sync {
         dist: &DistributedGraph<'_>,
         host_threads: usize,
     ) -> SimReport;
+
+    /// Execute with mid-run rebalancing: `policy` may migrate edges
+    /// between supersteps, mutating the view's copy-on-write placement
+    /// (the caller's `PartitionAssignment` is never touched).
+    fn run_rebalanced_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &mut DistributedGraph<'_>,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimReport;
 }
 
 /// Run a concrete program on the unified kernel — the one line every
@@ -76,6 +87,19 @@ fn exec<P: GasProgram>(
 ) -> SimReport {
     engine
         .run_on_with_threads(dist, program, host_threads)
+        .report
+}
+
+/// [`exec`] for the rebalanced entry point.
+fn exec_rebalanced<P: GasProgram>(
+    engine: &SimEngine<'_>,
+    dist: &mut DistributedGraph<'_>,
+    program: &P,
+    host_threads: usize,
+    policy: &mut dyn RebalancePolicy,
+) -> SimReport {
+    engine
+        .run_rebalanced_on_with_threads(dist, program, host_threads, policy)
         .report
 }
 
@@ -169,7 +193,8 @@ impl AnyApp {
         assignment: &PartitionAssignment,
         host_threads: usize,
     ) -> SimReport {
-        let dist = DistributedGraph::new(graph, assignment);
+        let dist =
+            DistributedGraph::new(graph, assignment).expect("assignment must cover the graph");
         self.run_on_with_threads(engine, &dist, host_threads)
     }
 
@@ -187,6 +212,44 @@ impl AnyApp {
     ) -> SimReport {
         assert!(host_threads > 0, "need at least one host thread");
         self.0.run_on_with_threads(engine, dist, host_threads)
+    }
+
+    /// [`AnyApp::run_with_threads`] with mid-run rebalancing: `policy`
+    /// observes each superstep's straggler signals and may migrate edges
+    /// between supersteps. The caller's `assignment` is never mutated —
+    /// the distributed view copies it on the first real migration.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn run_rebalanced_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        graph: &Graph,
+        assignment: &PartitionAssignment,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimReport {
+        let mut dist =
+            DistributedGraph::new(graph, assignment).expect("assignment must cover the graph");
+        self.run_rebalanced_on_with_threads(engine, &mut dist, host_threads, policy)
+    }
+
+    /// [`AnyApp::run_rebalanced_with_threads`] over a prebuilt (mutable)
+    /// [`DistributedGraph`]; after the run `dist` holds the final
+    /// placement for inspection.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn run_rebalanced_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &mut DistributedGraph<'_>,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimReport {
+        assert!(host_threads > 0, "need at least one host thread");
+        self.0
+            .run_rebalanced_on_with_threads(engine, dist, host_threads, policy)
     }
 }
 
@@ -236,6 +299,21 @@ impl AppSpec for PageRankSpec {
             host_threads,
         )
     }
+    fn run_rebalanced_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &mut DistributedGraph<'_>,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimReport {
+        exec_rebalanced(
+            engine,
+            dist,
+            &PageRank::new(PAGERANK_ITERATIONS),
+            host_threads,
+            policy,
+        )
+    }
 }
 
 struct PageRank32Spec;
@@ -259,6 +337,21 @@ impl AppSpec for PageRank32Spec {
             host_threads,
         )
     }
+    fn run_rebalanced_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &mut DistributedGraph<'_>,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimReport {
+        exec_rebalanced(
+            engine,
+            dist,
+            &PageRank32::new(PAGERANK_ITERATIONS),
+            host_threads,
+            policy,
+        )
+    }
 }
 
 struct ColoringSpec;
@@ -277,6 +370,15 @@ impl AppSpec for ColoringSpec {
     ) -> SimReport {
         exec(engine, dist, &Coloring::new(), host_threads)
     }
+    fn run_rebalanced_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &mut DistributedGraph<'_>,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimReport {
+        exec_rebalanced(engine, dist, &Coloring::new(), host_threads, policy)
+    }
 }
 
 struct ConnectedComponentsSpec;
@@ -294,6 +396,21 @@ impl AppSpec for ConnectedComponentsSpec {
         host_threads: usize,
     ) -> SimReport {
         exec(engine, dist, &ConnectedComponents::new(), host_threads)
+    }
+    fn run_rebalanced_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &mut DistributedGraph<'_>,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimReport {
+        exec_rebalanced(
+            engine,
+            dist,
+            &ConnectedComponents::new(),
+            host_threads,
+            policy,
+        )
     }
 }
 
@@ -318,6 +435,21 @@ impl AppSpec for TriangleCountSpec {
             host_threads,
         )
     }
+    fn run_rebalanced_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &mut DistributedGraph<'_>,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimReport {
+        exec_rebalanced(
+            engine,
+            dist,
+            &TriangleCount::for_graph(dist.graph()),
+            host_threads,
+            policy,
+        )
+    }
 }
 
 struct SsspSpec {
@@ -338,6 +470,15 @@ impl AppSpec for SsspSpec {
     ) -> SimReport {
         exec(engine, dist, &Sssp::new(self.source), host_threads)
     }
+    fn run_rebalanced_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &mut DistributedGraph<'_>,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimReport {
+        exec_rebalanced(engine, dist, &Sssp::new(self.source), host_threads, policy)
+    }
 }
 
 struct KCoreSpec {
@@ -357,6 +498,15 @@ impl AppSpec for KCoreSpec {
         host_threads: usize,
     ) -> SimReport {
         exec(engine, dist, &KCore::new(self.k), host_threads)
+    }
+    fn run_rebalanced_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &mut DistributedGraph<'_>,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimReport {
+        exec_rebalanced(engine, dist, &KCore::new(self.k), host_threads, policy)
     }
 }
 
@@ -538,6 +688,32 @@ mod tests {
         assert_eq!(AnyApp::sssp(0), AnyApp::sssp(99), "equality is by name");
         assert_ne!(AnyApp::sssp(0), AnyApp::kcore(3));
         assert_eq!(format!("{:?}", AnyApp::kcore(3)), "AnyApp(\"kcore\")");
+    }
+
+    #[test]
+    fn rebalanced_dispatch_runs_all_apps_deterministically() {
+        use hetgraph_engine::GreedyRebalance;
+        let g = PowerLawConfig::new(800, 2.1).generate(3);
+        let cluster = Cluster::case2();
+        // A maximally skewed start so the greedy policy has something to
+        // look at (whether it migrates here depends on amortization).
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0; g.num_edges()]);
+        let engine = SimEngine::new(&cluster);
+        for app in full_apps() {
+            let mut p1 = GreedyRebalance::new();
+            let r1 = app.run_rebalanced_with_threads(&engine, &g, &a, 1, &mut p1);
+            assert_eq!(r1.app, app.name());
+            assert!(r1.makespan_s > 0.0, "{app}: no time simulated");
+            for threads in [2, 4] {
+                let mut p = GreedyRebalance::new();
+                let r = app.run_rebalanced_with_threads(&engine, &g, &a, threads, &mut p);
+                assert_eq!(
+                    r, r1,
+                    "{app}/{threads}: rebalanced run must be thread-invariant"
+                );
+                assert_eq!(p.events().len(), p1.events().len(), "{app}/{threads}");
+            }
+        }
     }
 
     #[test]

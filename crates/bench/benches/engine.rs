@@ -68,7 +68,7 @@ fn bench_engine_obs(c: &mut Criterion) {
     let graph = RmatConfig::natural(10_000, 80_000).generate(11);
     let cluster = Cluster::case2();
     let assignment = Hybrid::new().partition(&graph, &MachineWeights::uniform(2));
-    let dist = DistributedGraph::new(&graph, &assignment);
+    let dist = DistributedGraph::new(&graph, &assignment).expect("assignment must cover the graph");
 
     let mut group = c.benchmark_group("engine_obs");
     group.sample_size(10);
@@ -100,7 +100,7 @@ fn bench_engine_threads(c: &mut Criterion) {
     let graph = spec.generate();
     let cluster = Cluster::case2();
     let assignment = Hybrid::new().partition(&graph, &MachineWeights::uniform(2));
-    let dist = DistributedGraph::new(&graph, &assignment);
+    let dist = DistributedGraph::new(&graph, &assignment).expect("assignment must cover the graph");
     let engine = SimEngine::new(&cluster);
 
     let mut group = c.benchmark_group("engine_threads");

@@ -148,6 +148,7 @@ pub fn run_matrix_counted(
     let dists: Vec<DistributedGraph<'_>> =
         hetgraph_core::par::scheduled(jobs.len(), sweep_threads, |j| {
             DistributedGraph::new_with_threads(&graphs[jobs[j].0].1, &parts[j].0, engine_threads)
+                .expect("assignment must cover the graph")
         });
 
     // Phase 4 (parallel): simulate every cell; `scheduled` returns the
@@ -434,7 +435,8 @@ pub fn write_traces(ctx: &ExperimentContext) -> Vec<PathBuf> {
             let assignment =
                 kind.build()
                     .partition_recorded(&graph, &weights, ctx.threads, &recorder);
-            let dist = DistributedGraph::new_with_threads(&graph, &assignment, ctx.threads);
+            let dist = DistributedGraph::new_with_threads(&graph, &assignment, ctx.threads)
+                .expect("assignment must cover the graph");
             let engine = SimEngine::new(&cluster).with_recorder(&recorder);
             app.run_on_with_threads(&engine, &dist, ctx.threads);
             emit(

@@ -405,7 +405,8 @@ pub fn engine(ctx: &ExperimentContext) -> EngineBench {
     let cluster = Cluster::case2();
     let weights = MachineWeights::uniform(cluster.len());
     let assignment = RandomHash::new().partition(&graph, &weights);
-    let dist = DistributedGraph::new_with_threads(&graph, &assignment, ctx.threads);
+    let dist = DistributedGraph::new_with_threads(&graph, &assignment, ctx.threads)
+        .expect("assignment must cover the graph");
     println!("fixture: power-law n={n} alpha=2.1 seed=42 ({edges} edges), case2, random_hash");
 
     let mut rows = Vec::new();
@@ -593,7 +594,7 @@ mod tests {
         let g = PowerLawConfig::new(2_000, 2.1).generate(9);
         let cluster = Cluster::case2();
         let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
-        let dist = DistributedGraph::new(&g, &a);
+        let dist = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
         let engine = SimEngine::new(&cluster);
         let (sd, sr) = seed_kernel(&cluster, &dist, &PageRank::new(6));
         let fast = engine.run_on(&dist, &PageRank::new(6));

@@ -23,6 +23,7 @@
 //! | [`ablation`] | beyond-paper sensitivity studies |
 //! | [`partition_bench::partition`] | partition perf baseline (`BENCH_partition.json`) |
 //! | [`engine_bench::engine`] | superstep-kernel perf baseline (`BENCH_engine.json`) |
+//! | [`rebalance_bench::rebalance`] | static-vs-migration baseline (`BENCH_rebalance.json`) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,6 +38,7 @@ pub mod headline;
 pub mod output;
 pub mod partition_bench;
 pub mod policy;
+pub mod rebalance_bench;
 pub mod tables;
 
 pub use context::ExperimentContext;

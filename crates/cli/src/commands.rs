@@ -336,6 +336,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             "scale",
             "threads",
             "trace-out",
+            "rebalance",
         ],
     )?;
     let g = load_graph(flags.require("input")?)?;
@@ -374,8 +375,37 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
         .build()
         .partition_recorded(&g, &weights, threads, recorder);
     let engine = hetgraph_engine::SimEngine::new(&cluster).with_recorder(recorder);
-    let report = app.run_with_threads(&engine, &g, &assignment, threads);
+    let (report, migrations) = match flags.get("rebalance") {
+        None | Some("off") => (
+            app.run_with_threads(&engine, &g, &assignment, threads),
+            None,
+        ),
+        Some("greedy") => {
+            let mut policy = hetgraph_engine::GreedyRebalance::new();
+            let report =
+                app.run_rebalanced_with_threads(&engine, &g, &assignment, threads, &mut policy);
+            let moved: usize = policy.events().iter().map(|e| e.edges_moved).sum();
+            let cost: f64 = policy.events().iter().map(|e| e.cost_s).sum();
+            (
+                report,
+                Some(format!(
+                    "rebalance: greedy, {} batch(es), {} edge(s) migrated, {:.6}s charged",
+                    policy.events().len(),
+                    moved,
+                    cost
+                )),
+            )
+        }
+        Some(other) => {
+            return Err(CliError(format!(
+                "unknown rebalance policy {other:?}; expected greedy or off"
+            )))
+        }
+    };
     println!("{report}");
+    if let Some(line) = migrations {
+        println!("{line}");
+    }
     println!(
         "per-machine busy: [{}]",
         report
@@ -583,6 +613,45 @@ mod tests {
             "default",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn simulate_rebalance_flag() {
+        let path = tmp("simulate_rebalance.hgb");
+        generate(&argv(&[
+            "--family",
+            "powerlaw",
+            "--vertices",
+            "800",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        for rebalance in ["greedy", "off"] {
+            simulate(&argv(&[
+                "--input",
+                &path,
+                "--app",
+                "pagerank",
+                "--algorithm",
+                "random",
+                "--policy",
+                "default",
+                "--rebalance",
+                rebalance,
+            ]))
+            .unwrap();
+        }
+        let err = simulate(&argv(&[
+            "--input",
+            &path,
+            "--policy",
+            "default",
+            "--rebalance",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("rebalance policy"));
     }
 
     #[test]

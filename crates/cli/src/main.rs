@@ -6,7 +6,7 @@
 //! hetgraph stats     --input FILE
 //! hetgraph partition --input FILE --machines K [--algorithm NAME] [--weights a,b,...]
 //! hetgraph profile   [--cluster case1|case2|case3] [--scale N] [--apps LIST]
-//! hetgraph simulate  --input FILE [--cluster C] [--app A] [--algorithm P] [--policy default|prior|ccr] [--trace-out FILE]
+//! hetgraph simulate  --input FILE [--cluster C] [--app A] [--algorithm P] [--policy default|prior|ccr] [--rebalance greedy|off] [--trace-out FILE]
 //! hetgraph submit    --input FILE [--cluster C] [--app A] [--algorithm P] [--policy ...] [--threads N]
 //! ```
 //!
@@ -38,6 +38,9 @@ commands:
   simulate   run one application on a simulated heterogeneous cluster
              --input FILE [--cluster C] [--app A] [--algorithm P]
              [--policy default|prior|ccr] [--scale N] [--threads N]
+             [--rebalance greedy|off]  migrate edges between supersteps
+             when a machine straggles (off by default; reports are
+             byte-identical to no flag when off)
              [--trace-out FILE]  Chrome trace_event JSON of the simulated
              timeline (.jsonl = every event as JSON-lines); open in
              chrome://tracing or ui.perfetto.dev

@@ -16,6 +16,8 @@
 //! - [`network`] — analytic communication model for mirror synchronization.
 //! - [`cluster`] — a set of machines with group structure (one profiling
 //!   run per machine *type*, as in Section III-B).
+//! - [`perturb`] — scripted mid-run machine slowdowns/recoveries, indexed
+//!   by superstep, for scenarios the static placement cannot handle.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,9 +28,11 @@ pub mod energy;
 pub mod machine;
 pub mod network;
 pub mod perf;
+pub mod perturb;
 
 pub use cluster::Cluster;
 pub use energy::{EnergyModel, EnergyReport};
 pub use machine::MachineSpec;
-pub use network::NetworkModel;
+pub use network::{NetworkModel, MIGRATION_BYTES_PER_EDGE};
 pub use perf::{AppProfile, GraphShape, WorkCounts};
+pub use perturb::{Perturbation, PerturbationSchedule};

@@ -14,6 +14,12 @@
 
 use crate::machine::MachineSpec;
 
+/// Bytes shipped per migrated edge: the edge record itself plus the
+/// replica/master bookkeeping and framing that travels with it when a
+/// rebalancer moves placement mid-run. One number for all apps — migration
+/// ships topology, not vertex state (the new owner re-gathers next step).
+pub const MIGRATION_BYTES_PER_EDGE: f64 = 32.0;
+
 /// Communication model parameters.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NetworkModel {
@@ -63,6 +69,15 @@ impl NetworkModel {
             .map(|(m, &am)| self.sync_time_s(m, am))
             .fold(0.0f64, f64::max);
         slowest + self.barrier_latency_s
+    }
+
+    /// Seconds to ship `bytes` of migration payload from `src` to `dst`:
+    /// the transfer is gated by the slower of the two NICs. Transfers
+    /// between distinct machine pairs overlap, so a batch's cost is the
+    /// max over its pairs (plus one barrier), not the sum.
+    pub fn migration_transfer_s(&self, src: &MachineSpec, dst: &MachineSpec, bytes: f64) -> f64 {
+        let gbps = src.nic_gbps.min(dst.nic_gbps);
+        bytes / (gbps * 1e9 / 8.0)
     }
 }
 
@@ -115,5 +130,17 @@ mod tests {
     fn single_machine_has_no_comm() {
         let nm = NetworkModel::default();
         assert_eq!(nm.step_comm_s(&[catalog::xeon_s()], &[1_000]), 0.0);
+    }
+
+    #[test]
+    fn migration_transfer_gated_by_slower_nic() {
+        let nm = NetworkModel::default();
+        let slow = catalog::c4_xlarge(); // 1.25 Gb/s
+        let fast = catalog::c4_8xlarge(); // 10 Gb/s
+        let bytes = 1e6;
+        let t = nm.migration_transfer_s(&slow, &fast, bytes);
+        assert!((t - bytes / (slow.nic_gbps * 1e9 / 8.0)).abs() < 1e-15);
+        // Symmetric: direction does not change the bottleneck.
+        assert_eq!(t, nm.migration_transfer_s(&fast, &slow, bytes));
     }
 }

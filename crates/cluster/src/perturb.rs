@@ -1,0 +1,180 @@
+//! Mid-run machine perturbations.
+//!
+//! The paper's proxy-guided weighting is static: it assumes machines keep
+//! the speed they were profiled at. Real clusters do not — thermal
+//! throttling, noisy neighbors, or background jobs slow a machine down
+//! mid-run and later release it. A [`PerturbationSchedule`] scripts such
+//! events against *superstep* time (slow machine `m` to 40% between steps
+//! 5 and 20), so the simulator can replay scenarios a static placement
+//! cannot handle and a dynamic rebalancer should.
+
+use crate::machine::MachineSpec;
+
+/// One scripted slowdown (or speedup) of one machine over a superstep
+/// interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perturbation {
+    /// Index of the affected machine in the cluster's machine order.
+    pub machine: usize,
+    /// First superstep (inclusive) at which the perturbation is active.
+    pub from_step: usize,
+    /// First superstep at which the machine has recovered; `None` means
+    /// it never recovers.
+    pub until_step: Option<usize>,
+    /// Multiplier on the machine's core clock while active (0.4 = the
+    /// machine runs at 40% of nominal frequency).
+    pub frequency_scale: f64,
+}
+
+impl Perturbation {
+    /// Whether this perturbation is active at `step`.
+    pub fn active_at(&self, step: usize) -> bool {
+        step >= self.from_step && self.until_step.is_none_or(|u| step < u)
+    }
+}
+
+/// A script of [`Perturbation`]s applied to a cluster, indexed by
+/// superstep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerturbationSchedule {
+    perturbations: Vec<Perturbation>,
+}
+
+impl PerturbationSchedule {
+    /// An empty schedule (no machine is ever perturbed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a slowdown of `machine` to `frequency_scale` of nominal clock,
+    /// active from superstep `from_step` until (exclusive) `until_step`
+    /// (`None` = forever).
+    ///
+    /// # Panics
+    /// Panics if `frequency_scale` is not positive or the interval is
+    /// empty.
+    pub fn slowdown(
+        mut self,
+        machine: usize,
+        from_step: usize,
+        until_step: Option<usize>,
+        frequency_scale: f64,
+    ) -> Self {
+        assert!(frequency_scale > 0.0, "frequency scale must be positive");
+        if let Some(u) = until_step {
+            assert!(u > from_step, "perturbation interval must be non-empty");
+        }
+        self.perturbations.push(Perturbation {
+            machine,
+            from_step,
+            until_step,
+            frequency_scale,
+        });
+        self
+    }
+
+    /// Whether the schedule has no perturbations at all.
+    pub fn is_empty(&self) -> bool {
+        self.perturbations.is_empty()
+    }
+
+    /// The scripted perturbations.
+    pub fn perturbations(&self) -> &[Perturbation] {
+        &self.perturbations
+    }
+
+    /// The effective machine specs at `step`: `None` when no perturbation
+    /// is active (the caller keeps using `base` untouched — the common
+    /// path allocates nothing), otherwise a copy of `base` with each
+    /// active machine's clock scaled via
+    /// [`MachineSpec::at_frequency`] (names are preserved; stacked
+    /// perturbations on one machine multiply).
+    ///
+    /// # Panics
+    /// Panics if a perturbation's machine index is out of range for
+    /// `base`.
+    pub fn specs_at(&self, step: usize, base: &[MachineSpec]) -> Option<Vec<MachineSpec>> {
+        let active: Vec<&Perturbation> = self
+            .perturbations
+            .iter()
+            .filter(|p| p.active_at(step))
+            .collect();
+        if active.is_empty() {
+            return None;
+        }
+        let mut specs = base.to_vec();
+        for p in active {
+            assert!(
+                p.machine < specs.len(),
+                "perturbation machine {} out of range",
+                p.machine
+            );
+            let m = &specs[p.machine];
+            let name = m.name.clone();
+            specs[p.machine] = m.at_frequency(m.freq_ghz * p.frequency_scale, name);
+        }
+        Some(specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn empty_schedule_never_perturbs() {
+        let s = PerturbationSchedule::new();
+        assert!(s.is_empty());
+        let base = vec![catalog::xeon_s(), catalog::xeon_l()];
+        for step in 0..10 {
+            assert!(s.specs_at(step, &base).is_none());
+        }
+    }
+
+    #[test]
+    fn slowdown_window_scales_clock_and_recovers() {
+        let s = PerturbationSchedule::new().slowdown(1, 2, Some(5), 0.5);
+        let base = vec![catalog::xeon_s(), catalog::xeon_l()];
+        assert!(s.specs_at(0, &base).is_none());
+        assert!(s.specs_at(1, &base).is_none());
+        for step in 2..5 {
+            let specs = s.specs_at(step, &base).expect("active window");
+            assert_eq!(specs[0], base[0]);
+            assert!((specs[1].freq_ghz - base[1].freq_ghz * 0.5).abs() < 1e-12);
+            assert_eq!(specs[1].name, base[1].name, "name survives the scaling");
+        }
+        assert!(s.specs_at(5, &base).is_none(), "recovered at until_step");
+    }
+
+    #[test]
+    fn open_ended_slowdown_never_recovers() {
+        let s = PerturbationSchedule::new().slowdown(0, 3, None, 0.25);
+        let base = vec![catalog::xeon_s()];
+        assert!(s.specs_at(2, &base).is_none());
+        assert!(s.specs_at(1_000, &base).is_some());
+    }
+
+    #[test]
+    fn stacked_perturbations_multiply() {
+        let s = PerturbationSchedule::new()
+            .slowdown(0, 0, None, 0.5)
+            .slowdown(0, 0, None, 0.5);
+        let base = vec![catalog::xeon_s()];
+        let specs = s.specs_at(0, &base).expect("active");
+        assert!((specs[0].freq_ghz - base[0].freq_ghz * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_machine_panics() {
+        let s = PerturbationSchedule::new().slowdown(5, 0, None, 0.5);
+        s.specs_at(0, &[catalog::xeon_s()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_interval_rejected() {
+        let _ = PerturbationSchedule::new().slowdown(0, 4, Some(4), 0.5);
+    }
+}

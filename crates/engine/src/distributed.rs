@@ -6,10 +6,12 @@
 //! arrays exactly aligned with each CSR's `targets` array by replaying the
 //! same counting sort the CSR construction used.
 
+use std::borrow::Cow;
 use std::sync::OnceLock;
 
+use crate::error::EngineError;
 use hetgraph_core::{Graph, MachineId, VertexId};
-use hetgraph_partition::PartitionAssignment;
+use hetgraph_partition::{AssignmentDelta, PartitionAssignment};
 
 /// Largest machine count for which [`DistributedGraph::machine_counts`]
 /// materializes its per-vertex count tables. Each direction costs
@@ -18,9 +20,19 @@ use hetgraph_partition::PartitionAssignment;
 const ROW_COUNTS_MAX_MACHINES: usize = 8;
 
 /// A graph plus its partition, with per-adjacency-slot edge ownership.
+///
+/// The assignment is held as a [`Cow`]: a freshly built view borrows the
+/// caller's `PartitionAssignment` (zero copy, exactly the old behavior);
+/// the first [`migrate_edges`](Self::migrate_edges) call clones it once
+/// and every edit from then on is in-place on the owned copy. The
+/// alignment tables are owned either way and are patched per-delta in
+/// O(|delta|) rather than rebuilt. Cloning copies the alignment tables
+/// but not the graph, and a borrowed assignment stays borrowed — cheap
+/// enough to fork a mutable view off a shared one before rebalancing.
+#[derive(Clone)]
 pub struct DistributedGraph<'a> {
     graph: &'a Graph,
-    assignment: &'a PartitionAssignment,
+    assignment: Cow<'a, PartitionAssignment>,
     /// Machine of the edge behind `out_csr.targets()[k]`.
     out_slot_machine: Vec<u16>,
     /// Machine of the edge behind `in_csr.targets()[k]`.
@@ -29,14 +41,20 @@ pub struct DistributedGraph<'a> {
     /// [`machine_counts`](Self::machine_counts)).
     out_row_counts: OnceLock<Vec<u32>>,
     in_row_counts: OnceLock<Vec<u32>>,
+    /// Lazily built per-edge slot positions `(out, in)` — edge `i` fills
+    /// `out_csr.targets()[out[i]]` and `in_csr.targets()[in[i]]`. Built on
+    /// the first delta so slot lanes patch in O(|delta|) instead of an
+    /// O(E) realign per migration batch.
+    edge_slots: OnceLock<(Vec<u32>, Vec<u32>)>,
 }
 
 impl<'a> DistributedGraph<'a> {
     /// Build the aligned ownership arrays.
     ///
-    /// # Panics
-    /// Panics if the assignment does not cover exactly this graph's edges.
-    pub fn new(graph: &'a Graph, assignment: &'a PartitionAssignment) -> Self {
+    /// # Errors
+    /// Returns [`EngineError::AssignmentMismatch`] if the assignment does
+    /// not cover exactly this graph's edges.
+    pub fn new(graph: &'a Graph, assignment: &'a PartitionAssignment) -> Result<Self, EngineError> {
         Self::new_with_threads(graph, assignment, 1)
     }
 
@@ -48,20 +66,24 @@ impl<'a> DistributedGraph<'a> {
     /// each direction's array is computed independently, so the result
     /// is identical at any thread count.
     ///
+    /// # Errors
+    /// Returns [`EngineError::AssignmentMismatch`] if the assignment does
+    /// not cover exactly this graph's edges.
+    ///
     /// # Panics
-    /// Panics if the assignment does not cover exactly this graph's
-    /// edges, or if `host_threads == 0`.
+    /// Panics if `host_threads == 0`.
     pub fn new_with_threads(
         graph: &'a Graph,
         assignment: &'a PartitionAssignment,
         host_threads: usize,
-    ) -> Self {
+    ) -> Result<Self, EngineError> {
         assert!(host_threads > 0, "need at least one host thread");
-        assert_eq!(
-            assignment.edge_machines().len(),
-            graph.num_edges(),
-            "assignment must cover the graph"
-        );
+        if assignment.edge_machines().len() != graph.num_edges() {
+            return Err(EngineError::AssignmentMismatch {
+                assignment_edges: assignment.edge_machines().len(),
+                graph_edges: graph.num_edges(),
+            });
+        }
         let (out_slot_machine, in_slot_machine) = if host_threads >= 2 {
             let mut arrays = hetgraph_core::par::scheduled(2, host_threads, |dir| {
                 align(graph, assignment, /*by_src=*/ dir == 0)
@@ -72,14 +94,15 @@ impl<'a> DistributedGraph<'a> {
         } else {
             align_fused(graph, assignment)
         };
-        DistributedGraph {
+        Ok(DistributedGraph {
             graph,
-            assignment,
+            assignment: Cow::Borrowed(assignment),
             out_slot_machine,
             in_slot_machine,
             out_row_counts: OnceLock::new(),
             in_row_counts: OnceLock::new(),
-        }
+            edge_slots: OnceLock::new(),
+        })
     }
 
     /// Per-vertex per-machine adjacency-slot counts for the (out, in) CSR
@@ -107,14 +130,103 @@ impl<'a> DistributedGraph<'a> {
         Some((out, inn))
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
+    /// The underlying graph. Tied to the graph's lifetime, not the
+    /// view's, so callers can hold it across mutations of `self`.
+    pub fn graph(&self) -> &'a Graph {
         self.graph
     }
 
-    /// The partition.
+    /// The partition (the owned copy once any migration has happened).
     pub fn assignment(&self) -> &PartitionAssignment {
-        self.assignment
+        &self.assignment
+    }
+
+    /// Reassign a batch of `(edge index, destination machine)` pairs and
+    /// patch every derived table, returning the applied delta. The first
+    /// call clones the borrowed assignment (copy-on-write); the slot
+    /// lanes, row-count tables, and replication structure are then
+    /// patched in place — no O(E) rebuild on any path after the one-time
+    /// edge-slot-table construction.
+    ///
+    /// # Panics
+    /// Panics if an edge index or destination machine is out of range.
+    pub fn migrate_edges(&mut self, batch: &[(usize, u16)]) -> AssignmentDelta {
+        // An all-no-op batch must not trigger the copy-on-write clone (an
+        // out-of-range index falls through so validation still fires).
+        let no_change = batch
+            .iter()
+            .all(|&(e, to)| self.assignment.edge_machines().get(e) == Some(&to));
+        if no_change {
+            return AssignmentDelta::default();
+        }
+        let graph = self.graph;
+        let delta = self.assignment.to_mut().migrate_edges(graph, batch);
+        self.apply_delta(&delta);
+        delta
+    }
+
+    /// Patch the alignment tables for an already-applied assignment
+    /// delta: the touched out/in slot lanes get the new machine, and the
+    /// row-count tables (if materialized) get `±1` on the two affected
+    /// machine columns of each moved edge's endpoint rows.
+    ///
+    /// Callers that mutate through [`migrate_edges`](Self::migrate_edges)
+    /// never call this directly; it is public for consumers that edit a
+    /// `PartitionAssignment` they own and mirror the delta into the view.
+    pub fn apply_delta(&mut self, delta: &AssignmentDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        self.ensure_edge_slots();
+        let (out_slots, in_slots) = self.edge_slots.get().expect("just built");
+        for mv in &delta.moves {
+            self.out_slot_machine[out_slots[mv.edge] as usize] = mv.to.0;
+            self.in_slot_machine[in_slots[mv.edge] as usize] = mv.to.0;
+        }
+        let p = self.assignment.num_machines();
+        let edges = self.graph.edges();
+        if let Some(rc) = self.out_row_counts.get_mut() {
+            for mv in &delta.moves {
+                let row = edges[mv.edge].src as usize * p;
+                rc[row + mv.from.index()] -= 1;
+                rc[row + mv.to.index()] += 1;
+            }
+        }
+        if let Some(rc) = self.in_row_counts.get_mut() {
+            for mv in &delta.moves {
+                let row = edges[mv.edge].dst as usize * p;
+                rc[row + mv.from.index()] -= 1;
+                rc[row + mv.to.index()] += 1;
+            }
+        }
+    }
+
+    /// Build the per-edge slot-position tables if not yet built: one
+    /// replay of the CSR counting sort recording, for each edge, which
+    /// out-slot and in-slot it filled.
+    fn ensure_edge_slots(&self) {
+        self.edge_slots.get_or_init(|| {
+            let n = self.graph.num_vertices() as usize;
+            assert!(
+                self.graph.num_edges() <= u32::MAX as usize,
+                "edge-slot tables index edges with u32"
+            );
+            let out_offsets = self.graph.out_csr().offsets();
+            let in_offsets = self.graph.in_csr().offsets();
+            let mut out_fill = vec![0u32; n];
+            let mut in_fill = vec![0u32; n];
+            let mut out_of_edge = vec![0u32; self.graph.num_edges()];
+            let mut in_of_edge = vec![0u32; self.graph.num_edges()];
+            for (i, e) in self.graph.edges().iter().enumerate() {
+                let s = e.src as usize;
+                let d = e.dst as usize;
+                out_of_edge[i] = (out_offsets[s] + out_fill[s] as usize) as u32;
+                out_fill[s] += 1;
+                in_of_edge[i] = (in_offsets[d] + in_fill[d] as usize) as u32;
+                in_fill[d] += 1;
+            }
+            (out_of_edge, in_of_edge)
+        });
     }
 
     /// Out-neighbors of `v` with the owning machine of each edge.
@@ -251,7 +363,7 @@ mod tests {
     fn out_slots_carry_edge_machines() {
         let (g, ms) = setup();
         let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
-        let d = DistributedGraph::new(&g, &a);
+        let d = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
         let got: Vec<_> = d.out_neighbors_owned(0).collect();
         assert_eq!(got, vec![(1, MachineId(0)), (2, MachineId(1))]);
     }
@@ -260,7 +372,7 @@ mod tests {
     fn in_slots_carry_edge_machines() {
         let (g, ms) = setup();
         let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
-        let d = DistributedGraph::new(&g, &a);
+        let d = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
         // In-neighbors of 2: from edges e1 (0, m1), e2 (1, m0), e3 (3, m1).
         let mut got: Vec<_> = d.in_neighbors_owned(2).collect();
         got.sort();
@@ -275,7 +387,7 @@ mod tests {
         // The same edge must report the same machine from both endpoints.
         let (g, ms) = setup();
         let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
-        let d = DistributedGraph::new(&g, &a);
+        let d = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
         // Edge (1,2) seen from 1's out list and 2's in list.
         let from_out = d
             .out_neighbors_owned(1)
@@ -297,7 +409,7 @@ mod tests {
             vec![Edge::new(0, 1), Edge::new(0, 1)],
         ));
         let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 1]);
-        let d = DistributedGraph::new(&g, &a);
+        let d = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
         let machines: Vec<_> = d.out_neighbors_owned(0).map(|(_, m)| m.0).collect();
         assert_eq!(machines.len(), 2);
         let mut sorted = machines.clone();
@@ -311,9 +423,10 @@ mod tests {
         // parallel build (2+ threads) must produce identical slot arrays.
         let (g, ms) = setup();
         let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
-        let serial = DistributedGraph::new(&g, &a);
+        let serial = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
         for threads in [2, 4] {
-            let par = DistributedGraph::new_with_threads(&g, &a, threads);
+            let par = DistributedGraph::new_with_threads(&g, &a, threads)
+                .expect("assignment must cover the graph");
             assert_eq!(serial.out_slot_machine, par.out_slot_machine);
             assert_eq!(serial.in_slot_machine, par.in_slot_machine);
         }
@@ -323,7 +436,7 @@ mod tests {
     fn adjacency_slices_match_owned_iterators() {
         let (g, ms) = setup();
         let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
-        let d = DistributedGraph::new(&g, &a);
+        let d = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
         for v in g.vertices() {
             let from_iter: Vec<_> = d.out_neighbors_owned(v).collect();
             let (ts, mach) = d.out_adj(v);
@@ -348,7 +461,7 @@ mod tests {
     fn machine_counts_match_slot_lanes() {
         let (g, ms) = setup();
         let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
-        let d = DistributedGraph::new(&g, &a);
+        let d = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
         let (out, inn) = d.machine_counts().expect("2 machines is under the cap");
         let p = 2usize;
         for v in g.vertices() {
@@ -376,16 +489,69 @@ mod tests {
     fn machine_counts_absent_above_machine_cap() {
         let (g, _) = setup();
         let a = PartitionAssignment::from_edge_machines(&g, 9, vec![0, 1, 2, 8]);
-        let d = DistributedGraph::new(&g, &a);
+        let d = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
         assert!(d.machine_counts().is_none(), "9 machines exceeds the cap");
     }
 
     #[test]
-    #[should_panic(expected = "cover the graph")]
-    fn mismatched_assignment_panics() {
+    fn mismatched_assignment_is_a_typed_error() {
         let (g, _) = setup();
         let smaller = Graph::from_edge_list(EdgeList::from_edges(2, vec![Edge::new(0, 1)]));
         let a = PartitionAssignment::from_edge_machines(&smaller, 2, vec![0]);
-        DistributedGraph::new(&g, &a);
+        match DistributedGraph::new(&g, &a) {
+            Err(EngineError::AssignmentMismatch {
+                assignment_edges,
+                graph_edges,
+            }) => {
+                assert_eq!(assignment_edges, 1);
+                assert_eq!(graph_edges, 4);
+            }
+            _ => panic!("expected AssignmentMismatch"),
+        }
+    }
+
+    #[test]
+    fn migrate_patches_slot_lanes_like_a_fresh_build() {
+        let (g, ms) = setup();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
+        let mut d = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
+        let delta = d.migrate_edges(&[(1, 0), (3, 0)]);
+        assert_eq!(delta.edges_moved(), 2);
+        // The caller's assignment is untouched (copy-on-write)...
+        assert_eq!(a.edge_machines(), &[0, 1, 0, 1]);
+        // ...and the view equals a fresh build of the migrated machines.
+        let migrated =
+            PartitionAssignment::from_edge_machines(&g, 2, d.assignment().edge_machines().to_vec());
+        assert_eq!(d.assignment(), &migrated);
+        let fresh = DistributedGraph::new(&g, &migrated).expect("assignment must cover the graph");
+        assert_eq!(d.out_slot_machine, fresh.out_slot_machine);
+        assert_eq!(d.in_slot_machine, fresh.in_slot_machine);
+    }
+
+    #[test]
+    fn migrate_patches_row_counts_in_place() {
+        let (g, ms) = setup();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, ms);
+        let mut d = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
+        // Materialize the row tables BEFORE migrating so the patch path
+        // (not a rebuild) is what produces the final counts.
+        d.machine_counts().expect("under the machine cap");
+        let _ = d.migrate_edges(&[(0, 1), (2, 1)]);
+        let migrated =
+            PartitionAssignment::from_edge_machines(&g, 2, d.assignment().edge_machines().to_vec());
+        let fresh = DistributedGraph::new(&g, &migrated).expect("assignment must cover the graph");
+        assert_eq!(d.machine_counts(), fresh.machine_counts());
+    }
+
+    #[test]
+    fn empty_migration_batch_changes_nothing() {
+        let (g, ms) = setup();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, ms.clone());
+        let mut d = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
+        let delta = d.migrate_edges(&[(0, 0)]);
+        assert!(delta.is_empty());
+        // No clone happened: still borrowing the caller's assignment.
+        assert!(matches!(d.assignment, Cow::Borrowed(_)));
+        assert_eq!(d.assignment().edge_machines(), ms.as_slice());
     }
 }

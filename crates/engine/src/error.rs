@@ -1,0 +1,49 @@
+//! Error type for the simulation engine.
+
+/// Errors produced while building or mutating engine-side structures.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The partition assignment does not cover exactly the graph's edges.
+    AssignmentMismatch {
+        /// Edge count of the assignment.
+        assignment_edges: usize,
+        /// Edge count of the graph.
+        graph_edges: usize,
+    },
+    /// A host thread budget of zero was requested.
+    ZeroThreads,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::AssignmentMismatch {
+                assignment_edges,
+                graph_edges,
+            } => write!(
+                f,
+                "assignment must cover the graph: assignment has {assignment_edges} edges, \
+                 graph has {graph_edges}"
+            ),
+            EngineError::ZeroThreads => write!(f, "need at least one host thread"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EngineError::AssignmentMismatch {
+            assignment_edges: 3,
+            graph_edges: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cover the graph") && s.contains("3") && s.contains("7"));
+        assert!(EngineError::ZeroThreads.to_string().contains("thread"));
+    }
+}

@@ -19,17 +19,25 @@
 //! - [`sim`] — [`SimEngine`]: **the** BSP superstep loop (there is exactly
 //!   one; serial execution is its 1-thread case) with timing, energy, and
 //!   communication accounting.
+//! - [`rebalance`] — [`RebalancePolicy`]: between-superstep migration
+//!   driven by the per-step straggler signals; [`GreedyRebalance`] is the
+//!   built-in amortizing policy.
 //! - [`report`] — [`SimReport`]: everything the evaluation harness reads.
+//! - [`error`] — [`EngineError`]: typed construction failures.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod distributed;
+pub mod error;
 pub mod program;
+pub mod rebalance;
 pub mod report;
 pub mod sim;
 
 pub use distributed::DistributedGraph;
+pub use error::EngineError;
 pub use program::{ActiveInit, Direction, GasProgram};
+pub use rebalance::{GreedyRebalance, MigrationEvent, RebalancePolicy, StepSignals};
 pub use report::{SimReport, StepRecord};
 pub use sim::{SimEngine, SimOutcome};

@@ -66,7 +66,7 @@
 
 use hetgraph_cluster::{
     AppProfile, Cluster, EnergyModel, EnergyReport, GraphShape, MachineSpec, NetworkModel,
-    WorkCounts,
+    PerturbationSchedule, WorkCounts, MIGRATION_BYTES_PER_EDGE,
 };
 use hetgraph_core::obs::{Recorder, TraceEvent, NOOP};
 use hetgraph_core::par::{scheduled, Pool};
@@ -75,6 +75,7 @@ use hetgraph_partition::PartitionAssignment;
 
 use crate::distributed::DistributedGraph;
 use crate::program::{ActiveInit, Direction, GasProgram};
+use crate::rebalance::{MigrationEvent, RebalancePolicy, StepSignals};
 use crate::report::SimReport;
 
 /// Vertices per self-scheduled chunk. Small enough that hub-heavy chunks
@@ -95,6 +96,34 @@ pub struct SimEngine<'a> {
     cluster: &'a Cluster,
     network: NetworkModel,
     recorder: &'a dyn Recorder,
+    perturbations: Option<&'a PerturbationSchedule>,
+}
+
+/// How the kernel holds the [`DistributedGraph`]: shared for plain runs
+/// (exactly the old borrow), exclusive when a rebalance policy may mutate
+/// placement between supersteps. One enum instead of two kernels keeps
+/// the superstep loop in exactly one place (a guard test counts it).
+enum DistAccess<'k, 'g> {
+    /// Read-only view — placement is frozen for the whole run.
+    Shared(&'k DistributedGraph<'g>),
+    /// Mutable view — the between-superstep hook may migrate edges.
+    Exclusive(&'k mut DistributedGraph<'g>),
+}
+
+impl<'k, 'g> DistAccess<'k, 'g> {
+    fn view(&self) -> &DistributedGraph<'g> {
+        match self {
+            DistAccess::Shared(d) => d,
+            DistAccess::Exclusive(d) => d,
+        }
+    }
+
+    fn exclusive(&mut self) -> Option<&mut DistributedGraph<'g>> {
+        match self {
+            DistAccess::Shared(_) => None,
+            DistAccess::Exclusive(d) => Some(d),
+        }
+    }
 }
 
 /// Result of a run: the real computed vertex data plus the simulated
@@ -166,6 +195,7 @@ impl<'a> SimEngine<'a> {
             cluster,
             network: NetworkModel::default(),
             recorder: &NOOP,
+            perturbations: None,
         }
     }
 
@@ -175,7 +205,20 @@ impl<'a> SimEngine<'a> {
             cluster,
             network,
             recorder: &NOOP,
+            perturbations: None,
         }
+    }
+
+    /// Attach a [`PerturbationSchedule`]: at each superstep the schedule
+    /// may override machine specs (e.g. a mid-run clock slowdown), and
+    /// the kernel prices that step's compute and communication against
+    /// the overridden specs. With no active perturbation the base specs
+    /// are used untouched — an empty schedule is byte-identical to no
+    /// schedule. Energy stays priced at the nominal specs (a throttled
+    /// machine runs longer at its nominal power envelope).
+    pub fn with_perturbations(mut self, schedule: &'a PerturbationSchedule) -> Self {
+        self.perturbations = Some(schedule);
+        self
     }
 
     /// Attach a [`Recorder`]. With an enabled recorder the kernel records
@@ -249,7 +292,8 @@ impl<'a> SimEngine<'a> {
         program: &P,
         host_threads: usize,
     ) -> SimOutcome<P::VertexData> {
-        let dist = DistributedGraph::new_with_threads(graph, assignment, host_threads);
+        let dist = DistributedGraph::new_with_threads(graph, assignment, host_threads)
+            .expect("assignment must cover the graph");
         self.run_on_with_threads(&dist, program, host_threads)
     }
 
@@ -282,10 +326,12 @@ impl<'a> SimEngine<'a> {
         self.run_on_with_threads(dist, program, host_threads)
     }
 
-    /// **The superstep kernel** — the one implementation of the BSP
-    /// gather→apply→scatter loop, over a prebuilt [`DistributedGraph`],
+    /// **The superstep kernel's public face** — runs the BSP
+    /// gather→apply→scatter loop over a prebuilt [`DistributedGraph`],
     /// fanned out across `host_threads` self-scheduling workers
-    /// (`host_threads == 1` runs inline with no thread spawns).
+    /// (`host_threads == 1` runs inline with no thread spawns). Placement
+    /// is frozen: the view is borrowed shared, so output is byte-identical
+    /// to every previous release of this kernel.
     ///
     /// # Panics
     /// Panics if `host_threads == 0` or on a cluster/assignment mismatch.
@@ -295,11 +341,53 @@ impl<'a> SimEngine<'a> {
         program: &P,
         host_threads: usize,
     ) -> SimOutcome<P::VertexData> {
+        self.kernel(DistAccess::Shared(dist), program, host_threads, None)
+    }
+
+    /// [`SimEngine::run_on_with_threads`] with mid-run rebalancing: after
+    /// each superstep the kernel hands the step's signals to `policy`
+    /// (serial section), applies any planned edge migrations through
+    /// [`DistributedGraph::migrate_edges`], and charges the simulated
+    /// migration cost (payload bytes over the bottleneck pair NIC, plus
+    /// one barrier) to the makespan and communication totals. The view is
+    /// taken `&mut`: its copy-on-write assignment is what makes placement
+    /// mutable without touching the caller's `PartitionAssignment`.
+    ///
+    /// Determinism: a deterministic policy sees only simulated,
+    /// thread-count-invariant signals, so rebalanced reports are
+    /// byte-identical at any `host_threads`.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0` or on a cluster/assignment mismatch.
+    pub fn run_rebalanced_on_with_threads<P: GasProgram>(
+        &self,
+        dist: &mut DistributedGraph<'_>,
+        program: &P,
+        host_threads: usize,
+        policy: &mut dyn RebalancePolicy,
+    ) -> SimOutcome<P::VertexData> {
+        self.kernel(
+            DistAccess::Exclusive(dist),
+            program,
+            host_threads,
+            Some(policy),
+        )
+    }
+
+    /// **The superstep kernel** — the one implementation of the BSP loop
+    /// (both public entry points above are thin wrappers; a guard test
+    /// asserts the loop exists exactly once in this crate).
+    fn kernel<P: GasProgram>(
+        &self,
+        mut access: DistAccess<'_, '_>,
+        program: &P,
+        host_threads: usize,
+        mut policy: Option<&mut dyn RebalancePolicy>,
+    ) -> SimOutcome<P::VertexData> {
         assert!(host_threads > 0, "need at least one host thread");
-        let graph = dist.graph();
-        let assignment = dist.assignment();
+        let graph = access.view().graph();
         assert_eq!(
-            assignment.num_machines(),
+            access.view().assignment().num_machines(),
             self.cluster.len(),
             "assignment and cluster must have the same machine count"
         );
@@ -362,13 +450,6 @@ impl<'a> SimEngine<'a> {
         // the redundant per-edge recomputation is gone.
         let by_source = program.gather_by_source() && program.gather_direction() != Direction::None;
         let mut source_table: Vec<P::Accum> = Vec::with_capacity(if by_source { n } else { 0 });
-        // Per-vertex per-machine slot counts, for unit-per-edge work
-        // attribution without touching the machine lanes (built lazily on
-        // first use, shared across runs on the same view). `None` on
-        // clusters too large for the tables; the scans then fall back to
-        // the per-edge machine lane.
-        let counts = dist.machine_counts();
-
         // Observability: with the default NoopRecorder this one branch is
         // the entire per-superstep cost of instrumentation. Sim-domain
         // events are emitted only from the serial timing section below,
@@ -390,6 +471,17 @@ impl<'a> SimEngine<'a> {
                 *w = WorkCounts::zero();
             }
             sync_counts.fill(0);
+
+            // Shared borrows of the (possibly migrated) view for this
+            // superstep's scans. Re-taken every iteration because the
+            // rebalance hook at the bottom may mutate the view; the
+            // machine-count tables are cached, so `machine_counts` is a
+            // lookup after the first step. `None` on clusters too large
+            // for the tables; the scans then fall back to the per-edge
+            // machine lane.
+            let dist = access.view();
+            let assignment = dist.assignment();
+            let counts = dist.machine_counts();
 
             // --- Gather + Apply (reads previous-step data), fanned out ---
             let wall_gather_t0 = if tracing { recorder.now_us() } else { 0.0 };
@@ -597,10 +689,17 @@ impl<'a> SimEngine<'a> {
             }
 
             // --- Timing, energy, bookkeeping: once, here, only here ---
+            // A perturbation schedule may override machine specs for this
+            // superstep (mid-run slowdown/recovery). With none active the
+            // base slice is used as-is — structurally the old path.
+            let perturbed = self.perturbations.and_then(|s| s.specs_at(step, machines));
+            let step_machines: &[MachineSpec] = perturbed.as_deref().unwrap_or(machines);
             busy.clear();
-            busy.extend((0..p).map(|i| profile.time_seconds(&machines[i], &step_work[i], &shape)));
+            busy.extend(
+                (0..p).map(|i| profile.time_seconds(&step_machines[i], &step_work[i], &shape)),
+            );
             let step_compute = busy.iter().copied().fold(0.0f64, f64::max);
-            let step_comm = self.network.step_comm_s(machines, &sync_counts);
+            let step_comm = self.network.step_comm_s(step_machines, &sync_counts);
             let step_wall = step_compute + step_comm;
             for i in 0..p {
                 energy_model.account_step(&mut energy, i, busy[i], step_wall);
@@ -611,7 +710,7 @@ impl<'a> SimEngine<'a> {
                 emit_step_trace(
                     recorder,
                     &EmitStep {
-                        machines,
+                        machines: step_machines,
                         profile: &profile,
                         shape: &shape,
                         step_work: &step_work,
@@ -638,6 +737,91 @@ impl<'a> SimEngine<'a> {
             // Hybrid extraction: rebuilds the sorted frontier and zeroes
             // only the bitmap words scatter actually touched.
             next_frontier.extract_into(&mut frontier);
+
+            // --- Rebalance hook: between supersteps, serial section ---
+            // The policy sees only simulated quantities, so its plans —
+            // and the rebalanced report — are thread-count invariant. No
+            // migration on the last superstep (nothing left to speed up).
+            if let Some(pol) = policy.as_deref_mut() {
+                if !frontier.is_empty() {
+                    let plan = {
+                        let dist = access.view();
+                        let signals = StepSignals {
+                            step,
+                            active: active_count,
+                            busy_s: &busy,
+                            step_work: &step_work,
+                            step_compute_s: step_compute,
+                            step_comm_s: step_comm,
+                        };
+                        pol.plan(&signals, dist, machines, &self.network)
+                    };
+                    if !plan.is_empty() {
+                        let delta = access
+                            .exclusive()
+                            .expect("rebalancing runs with exclusive access")
+                            .migrate_edges(&plan);
+                        if !delta.is_empty() {
+                            let pairs = delta.moves_per_pair();
+                            let bytes = delta.edges_moved() as f64 * MIGRATION_BYTES_PER_EDGE;
+                            // Pair transfers overlap; the batch is gated
+                            // by its slowest pair, plus one barrier.
+                            let transfer = pairs
+                                .iter()
+                                .map(|&(f, t, n_moved)| {
+                                    self.network.migration_transfer_s(
+                                        &machines[f.index()],
+                                        &machines[t.index()],
+                                        n_moved as f64 * MIGRATION_BYTES_PER_EDGE,
+                                    )
+                                })
+                                .fold(0.0f64, f64::max);
+                            let cost = transfer + self.network.barrier_latency_s;
+                            if tracing {
+                                for &(f, t, _) in &pairs {
+                                    for lane in [f.0, t.0] {
+                                        recorder.record(TraceEvent::sim_span(
+                                            "migration",
+                                            "rebalance",
+                                            lane as u32,
+                                            makespan,
+                                            cost,
+                                        ));
+                                    }
+                                }
+                                recorder.record(TraceEvent::sim_counter(
+                                    "migrated_edges",
+                                    p as u32,
+                                    makespan,
+                                    delta.edges_moved() as f64,
+                                ));
+                                recorder.record(TraceEvent::sim_counter(
+                                    "migration_bytes",
+                                    p as u32,
+                                    makespan,
+                                    bytes,
+                                ));
+                                // Fold the migration into this step's
+                                // record so Σ step wall == makespan and
+                                // makespan == compute + comm both hold.
+                                if let Some(last) = steps.last_mut() {
+                                    last.comm_s += cost;
+                                    last.wall_s += cost;
+                                }
+                            }
+                            makespan += cost;
+                            comm_total += cost;
+                            pol.notify(MigrationEvent {
+                                step,
+                                edges_moved: delta.edges_moved(),
+                                bytes,
+                                cost_s: cost,
+                                moves_per_pair: pairs,
+                            });
+                        }
+                    }
+                }
+            }
         }
         if frontier.is_empty() {
             converged = true;
@@ -1460,7 +1644,7 @@ mod tests {
         let cluster = Cluster::case2();
         let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
         let engine = SimEngine::new(&cluster);
-        let dist = DistributedGraph::new(&g, &a);
+        let dist = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
         let direct = engine.run_parallel(&g, &a, &MinLabel, 2);
         let shared = engine.run_parallel_on(&dist, &MinLabel, 2);
         assert_eq!(direct.data, shared.data);
@@ -1517,5 +1701,189 @@ mod tests {
             vec![("sim.rs".to_string(), 1)],
             "the superstep loop must exist exactly once, in sim.rs; found {hits:?}"
         );
+    }
+
+    /// Policy that never plans anything — the rebalanced kernel must be
+    /// byte-identical to the static one.
+    struct NeverRebalance;
+
+    impl RebalancePolicy for NeverRebalance {
+        fn name(&self) -> &str {
+            "never"
+        }
+        fn plan(
+            &mut self,
+            _signals: &StepSignals<'_>,
+            _dist: &DistributedGraph<'_>,
+            _machines: &[MachineSpec],
+            _network: &NetworkModel,
+        ) -> Vec<(usize, u16)> {
+            Vec::new()
+        }
+    }
+
+    /// Policy that, exactly once, moves the first `count` edges to
+    /// machine 1 — deterministic by construction, for kernel-path tests.
+    struct MoveSome {
+        count: usize,
+        fired: bool,
+        events: Vec<MigrationEvent>,
+    }
+
+    impl MoveSome {
+        fn new(count: usize) -> Self {
+            MoveSome {
+                count,
+                fired: false,
+                events: Vec::new(),
+            }
+        }
+    }
+
+    impl RebalancePolicy for MoveSome {
+        fn name(&self) -> &str {
+            "move_some"
+        }
+        fn plan(
+            &mut self,
+            _signals: &StepSignals<'_>,
+            dist: &DistributedGraph<'_>,
+            _machines: &[MachineSpec],
+            _network: &NetworkModel,
+        ) -> Vec<(usize, u16)> {
+            if self.fired {
+                return Vec::new();
+            }
+            self.fired = true;
+            let count = self.count.min(dist.graph().num_edges());
+            (0..count).map(|e| (e, 1u16)).collect()
+        }
+        fn notify(&mut self, event: MigrationEvent) {
+            self.events.push(event);
+        }
+    }
+
+    #[test]
+    fn inert_policy_matches_static_run() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = partitioned(&g, &cluster);
+        let engine = SimEngine::new(&cluster);
+        let static_out = engine.run_parallel(&g, &a, &MinLabel, 2);
+        let mut dist = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
+        let mut policy = NeverRebalance;
+        let rebal = engine.run_rebalanced_on_with_threads(&mut dist, &MinLabel, 2, &mut policy);
+        assert_eq!(static_out.data, rebal.data);
+        assert_eq!(static_out.report, rebal.report);
+        // No plan means no copy-on-write: the caller's assignment is shared.
+        assert_eq!(dist.assignment(), &a);
+    }
+
+    #[test]
+    fn forced_migration_is_charged_and_preserves_results() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        // Everything starts on machine 0, so every planned move is real.
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0; g.num_edges()]);
+        let engine = SimEngine::new(&cluster);
+        let static_out = engine.run_parallel(&g, &a, &MinLabel, 2);
+        let mut dist = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
+        let mut policy = MoveSome::new(1_000);
+        let rebal = engine.run_rebalanced_on_with_threads(&mut dist, &MinLabel, 2, &mut policy);
+        // Placement never changes answers, only time.
+        assert_eq!(static_out.data, rebal.data);
+        assert_eq!(static_out.report.supersteps, rebal.report.supersteps);
+        let [event] = policy.events.as_slice() else {
+            panic!(
+                "exactly one migration expected, got {}",
+                policy.events.len()
+            );
+        };
+        assert_eq!(event.edges_moved, 1_000);
+        assert_eq!(event.step, 0);
+        assert!((event.bytes - 1_000.0 * MIGRATION_BYTES_PER_EDGE).abs() < 1e-9);
+        assert!(event.cost_s > 0.0);
+        assert_eq!(event.moves_per_pair.len(), 1);
+        let (from, to, n) = event.moves_per_pair[0];
+        assert_eq!((from.0, to.0, n), (0, 1, 1_000));
+        // The migration cost lands in comm and therefore in the makespan,
+        // and the accounting identity survives the surcharge.
+        assert!(rebal.report.comm_s > static_out.report.comm_s);
+        let identity = rebal.report.makespan_s - (rebal.report.compute_s + rebal.report.comm_s);
+        assert!(identity.abs() < 1e-12, "makespan == compute + comm");
+        // The caller's assignment is untouched; the view's copy moved on.
+        assert_eq!(a.edge_machines()[0], 0);
+        assert_eq!(dist.assignment().edge_machines()[0], 1);
+    }
+
+    #[test]
+    fn rebalanced_run_is_thread_count_invariant() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0; g.num_edges()]);
+        let engine = SimEngine::new(&cluster);
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut dist = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
+            let mut policy = MoveSome::new(2_500);
+            let out =
+                engine.run_rebalanced_on_with_threads(&mut dist, &MinLabel, threads, &mut policy);
+            reports.push((out.data, out.report));
+        }
+        assert_eq!(reports[0], reports[1], "1 vs 2 threads");
+        assert_eq!(reports[0], reports[2], "1 vs 4 threads");
+    }
+
+    #[test]
+    fn rebalanced_trace_tallies_and_marks_migrations() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = PartitionAssignment::from_edge_machines(&g, 2, vec![0; g.num_edges()]);
+        let rec = TraceRecorder::new();
+        let engine = SimEngine::new(&cluster).with_recorder(&rec);
+        let mut dist = DistributedGraph::new(&g, &a).expect("assignment must cover the graph");
+        let mut policy = MoveSome::new(1_000);
+        let out = engine.run_rebalanced_on_with_threads(&mut dist, &MinLabel, 2, &mut policy);
+        // The per-step records absorb the migration surcharge, so the
+        // trace still tallies with the aggregate report.
+        let wall: f64 = out.report.steps.iter().map(|s| s.wall_s).sum();
+        assert!((wall - out.report.makespan_s).abs() < 1e-12);
+        let events = rec.take_events();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "migration" && e.cat == "rebalance")
+            .collect();
+        assert_eq!(spans.len(), 2, "one span per machine lane of the pair");
+        assert_eq!(spans[0].track, 0);
+        assert_eq!(spans[1].track, 1);
+        let p = cluster.len() as u32;
+        for name in ["migrated_edges", "migration_bytes"] {
+            let hits: Vec<_> = events.iter().filter(|e| e.name == name).collect();
+            assert_eq!(hits.len(), 1, "{name} once per migration batch");
+            assert_eq!(hits[0].track, p, "{name} on the cluster-wide lane");
+        }
+    }
+
+    #[test]
+    fn perturbation_slowdown_stretches_the_makespan() {
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = partitioned(&g, &cluster);
+        let base = SimEngine::new(&cluster).run_parallel(&g, &a, &MinLabel, 2);
+        let schedule = PerturbationSchedule::new().slowdown(0, 0, None, 0.25);
+        let slowed = SimEngine::new(&cluster)
+            .with_perturbations(&schedule)
+            .run_parallel(&g, &a, &MinLabel, 2);
+        assert_eq!(
+            base.data, slowed.data,
+            "perturbations change time, not answers"
+        );
+        assert!(slowed.report.makespan_s > base.report.makespan_s);
+        // An empty schedule is byte-identical to no schedule at all.
+        let empty = PerturbationSchedule::new();
+        let noop = SimEngine::new(&cluster)
+            .with_perturbations(&empty)
+            .run_parallel(&g, &a, &MinLabel, 2);
+        assert_eq!(base.report, noop.report);
     }
 }

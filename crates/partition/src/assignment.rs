@@ -1,6 +1,7 @@
 //! The result of partitioning: an edge→machine assignment plus the derived
 //! replication structure (masters and mirrors).
 
+use crate::delta::{AssignmentDelta, EdgeMove, MaskChange};
 use hetgraph_core::rng::hash64;
 use hetgraph_core::{Graph, MachineId, VertexId};
 
@@ -120,15 +121,7 @@ impl PartitionAssignment {
         // replicas (PowerGraph picks pseudo-randomly). Isolated vertices
         // hash onto any machine. Pure per vertex, so threadable.
         let master: Vec<u16> = crate::chunk::chunked_map(n, host_threads, |v| {
-            let mask = replica_mask[v];
-            let h = hash64(v as u64 ^ 0x6d61_7374_6572_2121);
-            if mask == 0 {
-                (h % num_machines as u64) as u16
-            } else {
-                let count = mask.count_ones() as u64;
-                let k = (h % count) as u32;
-                nth_set_bit(mask, k) as u16
-            }
+            master_for(v, replica_mask[v], num_machines)
         });
 
         PartitionAssignment {
@@ -258,6 +251,98 @@ impl PartitionAssignment {
         counts
     }
 
+    /// Incrementally reassign a batch of edges to new machines, keeping
+    /// the derived replication structure (masks, masters, per-machine edge
+    /// counts) exactly what a from-scratch
+    /// [`PartitionAssignment::from_edge_machines`] rebuild of the edited
+    /// per-edge machine vector would produce.
+    ///
+    /// `batch` entries are `(edge index, destination machine)` in graph
+    /// edge order; entries whose edge already lives on the destination are
+    /// dropped as no-ops. When one edge appears more than once the last
+    /// entry wins (earlier ones still show up as intermediate moves).
+    ///
+    /// Cost: O(batch log batch) for the edge updates plus one O(E) scan to
+    /// recompute the replica masks of the touched endpoints (clearing a
+    /// replica bit requires knowing no *other* edge of the vertex remains
+    /// on that machine). Masters of mask-changed vertices are re-picked
+    /// with the same hash rule the full build uses, so equality with a
+    /// rebuild holds bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `graph` does not match this assignment (edge-count
+    /// mismatch), an edge index is out of range, or a destination machine
+    /// is out of range.
+    pub fn migrate_edges(&mut self, graph: &Graph, batch: &[(usize, u16)]) -> AssignmentDelta {
+        assert_eq!(
+            self.edge_machine.len(),
+            graph.num_edges(),
+            "graph must match the assignment it is migrating"
+        );
+        let mut delta = AssignmentDelta::default();
+        // Endpoints of moved edges, for the targeted mask recompute.
+        let mut touched: Vec<VertexId> = Vec::new();
+        for &(e, to) in batch {
+            assert!(e < self.edge_machine.len(), "edge index {e} out of range");
+            assert!(
+                (to as usize) < self.num_machines,
+                "edge assigned to machine {to} out of range"
+            );
+            let from = self.edge_machine[e];
+            if from == to {
+                continue;
+            }
+            self.edge_machine[e] = to;
+            self.edges_per_machine[from as usize] -= 1;
+            self.edges_per_machine[to as usize] += 1;
+            delta.moves.push(EdgeMove {
+                edge: e,
+                from: MachineId(from),
+                to: MachineId(to),
+            });
+            let edge = graph.edges()[e];
+            touched.push(edge.src);
+            touched.push(edge.dst);
+        }
+        if delta.moves.is_empty() {
+            return delta;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        // Recompute the replica masks of touched vertices with one pass
+        // over the edge list: a bit can only be *cleared* by proving no
+        // remaining edge of the vertex lands on that machine.
+        let mut new_masks = vec![0u64; touched.len()];
+        for (e, &m) in graph.edges().iter().zip(&self.edge_machine) {
+            if let Ok(i) = touched.binary_search(&e.src) {
+                new_masks[i] |= 1u64 << m;
+            }
+            if let Ok(i) = touched.binary_search(&e.dst) {
+                new_masks[i] |= 1u64 << m;
+            }
+        }
+        for (i, &v) in touched.iter().enumerate() {
+            let old_mask = self.replica_mask[v as usize];
+            let new_mask = new_masks[i];
+            if old_mask == new_mask {
+                continue;
+            }
+            let old_master = self.master[v as usize];
+            let new_master = master_for(v as usize, new_mask, self.num_machines);
+            self.replica_mask[v as usize] = new_mask;
+            self.master[v as usize] = new_master;
+            delta.mask_changes.push(MaskChange {
+                vertex: v,
+                old_mask,
+                new_mask,
+                old_master: MachineId(old_master),
+                new_master: MachineId(new_master),
+            });
+        }
+        delta
+    }
+
     /// Fraction of edges on each machine (sums to 1 for non-empty graphs).
     pub fn edge_shares(&self) -> Vec<f64> {
         let total: usize = self.edges_per_machine.iter().sum();
@@ -268,6 +353,21 @@ impl PartitionAssignment {
             .iter()
             .map(|&c| c as f64 / total as f64)
             .collect()
+    }
+}
+
+/// The deterministic master pick for vertex `v` given its replica mask: a
+/// hash-based choice among the replicas, or among all machines for
+/// isolated vertices. Pure in `(v, mask, num_machines)`, so re-picking
+/// after a mask change reproduces exactly what a full rebuild would pick.
+fn master_for(v: usize, mask: u64, num_machines: usize) -> u16 {
+    let h = hash64(v as u64 ^ 0x6d61_7374_6572_2121);
+    if mask == 0 {
+        (h % num_machines as u64) as u16
+    } else {
+        let count = mask.count_ones() as u64;
+        let k = (h % count) as u32;
+        nth_set_bit(mask, k) as u16
     }
 }
 
@@ -384,6 +484,66 @@ mod tests {
         assert_eq!(nth_set_bit(0b1011, 0), 0);
         assert_eq!(nth_set_bit(0b1011, 1), 1);
         assert_eq!(nth_set_bit(0b1011, 2), 3);
+    }
+
+    #[test]
+    fn migrate_matches_from_scratch_rebuild() {
+        let g = graph();
+        let mut a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 1, 1]);
+        let delta = a.migrate_edges(&g, &[(0, 1), (2, 0)]);
+        assert_eq!(delta.edges_moved(), 2);
+        let rebuilt = PartitionAssignment::from_edge_machines(&g, 2, a.edge_machines().to_vec());
+        assert_eq!(a, rebuilt);
+    }
+
+    #[test]
+    fn migrate_skips_noops() {
+        let g = graph();
+        let mut a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 1, 1]);
+        let snapshot = a.clone();
+        let delta = a.migrate_edges(&g, &[(0, 0), (3, 1)]);
+        assert!(delta.is_empty());
+        assert!(delta.mask_changes.is_empty());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn migrate_records_mask_and_master_changes() {
+        let g = graph();
+        // All edges on m0: every covered vertex has mask 0b01.
+        let mut a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 0, 0]);
+        // Move e1 (1->2) to m1: v1 and v2 gain a replica on m1.
+        let delta = a.migrate_edges(&g, &[(1, 1)]);
+        assert_eq!(delta.moves.len(), 1);
+        assert_eq!(delta.moves[0].from, MachineId(0));
+        assert_eq!(delta.moves[0].to, MachineId(1));
+        let changed: Vec<VertexId> = delta.mask_changes.iter().map(|c| c.vertex).collect();
+        assert_eq!(changed, vec![1, 2]);
+        for c in &delta.mask_changes {
+            assert_eq!(c.old_mask, 0b01);
+            assert_eq!(c.new_mask, 0b11);
+            assert_eq!(MachineId(a.master(c.vertex).0), c.new_master);
+        }
+        assert_eq!(a.edges_per_machine(), &[3, 1]);
+    }
+
+    #[test]
+    fn migrate_last_entry_wins_for_duplicate_edges() {
+        let g = graph();
+        let mut a = PartitionAssignment::from_edge_machines(&g, 3, vec![0, 0, 0, 0]);
+        let delta = a.migrate_edges(&g, &[(0, 1), (0, 2)]);
+        assert_eq!(delta.edges_moved(), 2); // two intermediate moves
+        assert_eq!(a.edge_machine(0), MachineId(2));
+        let rebuilt = PartitionAssignment::from_edge_machines(&g, 3, a.edge_machines().to_vec());
+        assert_eq!(a, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn migrate_rejects_out_of_range_machine() {
+        let g = graph();
+        let mut a = PartitionAssignment::from_edge_machines(&g, 2, vec![0, 0, 1, 1]);
+        a.migrate_edges(&g, &[(0, 7)]);
     }
 
     #[test]

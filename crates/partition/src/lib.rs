@@ -28,6 +28,7 @@
 
 pub mod assignment;
 pub(crate) mod chunk;
+pub mod delta;
 pub mod ginger;
 pub mod grid;
 pub mod hybrid;
@@ -38,10 +39,11 @@ pub mod traits;
 pub mod weights;
 
 pub use assignment::PartitionAssignment;
+pub use delta::{AssignmentDelta, EdgeMove, MaskChange};
 pub use ginger::Ginger;
 pub use grid::Grid;
 pub use hybrid::Hybrid;
-pub use metrics::PartitionMetrics;
+pub use metrics::{PartitionMetrics, PartitionMetricsTracker};
 pub use oblivious::Oblivious;
 pub use random_hash::RandomHash;
 pub use traits::{Partitioner, PartitionerKind};

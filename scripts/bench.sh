@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Regenerate or verify the committed perf baselines:
-# BENCH_partition.json (partitioner throughput) and BENCH_engine.json
-# (superstep-kernel throughput).
+# BENCH_partition.json (partitioner throughput), BENCH_engine.json
+# (superstep-kernel throughput), and BENCH_rebalance.json (static CCR
+# placement vs CCR + mid-run migration under a scripted slowdown).
 #
-#   scripts/bench.sh            # release build + both experiments at --scale 1
+#   scripts/bench.sh            # release build + all experiments at --scale 1
 #   scripts/bench.sh --scale 8  # quicker smoke run (numbers not committed)
 #   scripts/bench.sh --check    # re-measure and gate against the committed
 #                               # baselines (wall-clock-tolerant; this is
@@ -39,8 +40,8 @@ while [ "$#" -gt 0 ]; do
     esac
 done
 
-echo "==> cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine"
-cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine
+echo "==> cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine --bin exp_rebalance"
+cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine --bin exp_rebalance
 
 if [ "$check" -eq 1 ]; then
     echo "==> exp_partition --scale $scale --check BENCH_partition.json"
@@ -49,7 +50,10 @@ if [ "$check" -eq 1 ]; then
     echo "==> exp_engine --scale $scale --check BENCH_engine.json"
     ./target/release/exp_engine --scale "$scale" --check BENCH_engine.json
     echo
-    echo "bench.sh: checks passed against BENCH_partition.json and BENCH_engine.json"
+    echo "==> exp_rebalance --scale $scale --check BENCH_rebalance.json"
+    ./target/release/exp_rebalance --scale "$scale" --check BENCH_rebalance.json
+    echo
+    echo "bench.sh: checks passed against BENCH_partition.json, BENCH_engine.json, and BENCH_rebalance.json"
 else
     echo "==> exp_partition --scale $scale --out ."
     ./target/release/exp_partition --scale "$scale" --out .
@@ -57,5 +61,8 @@ else
     echo "==> exp_engine --scale $scale --out ."
     ./target/release/exp_engine --scale "$scale" --out .
     echo
-    echo "bench.sh: wrote BENCH_partition.json and BENCH_engine.json (scale $scale)"
+    echo "==> exp_rebalance --scale $scale --out ."
+    ./target/release/exp_rebalance --scale "$scale" --out .
+    echo
+    echo "bench.sh: wrote BENCH_partition.json, BENCH_engine.json, and BENCH_rebalance.json (scale $scale)"
 fi

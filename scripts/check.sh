@@ -73,7 +73,8 @@ step cargo clippy --workspace --all-targets -- -D warnings
 
 echo
 echo "check.sh: all gates passed"
-echo "(optional: scripts/bench.sh regenerates BENCH_partition.json and"
-echo " BENCH_engine.json when partitioner or engine hot paths change;"
+echo "(optional: scripts/bench.sh regenerates BENCH_partition.json,"
+echo " BENCH_engine.json, and BENCH_rebalance.json when partitioner,"
+echo " engine, or rebalancing hot paths change;"
 echo " scripts/bench.sh --check gates a fresh run against the committed"
 echo " baselines)"

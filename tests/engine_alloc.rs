@@ -60,7 +60,7 @@ fn steady_state_supersteps_do_not_allocate() {
     let cluster = Cluster::case2();
     let weights = MachineWeights::uniform(cluster.len());
     let assignment = RandomHash::new().partition(&graph, &weights);
-    let dist = DistributedGraph::new(&graph, &assignment);
+    let dist = DistributedGraph::new(&graph, &assignment).expect("assignment must cover the graph");
     let engine = SimEngine::new(&cluster);
 
     // Warm up any lazily initialized process state (thread-local RNGs,
@@ -94,7 +94,7 @@ fn pooled_parallel_path_allocations_do_not_scale_with_chunk_count() {
     let cluster = Cluster::case2();
     let weights = MachineWeights::uniform(cluster.len());
     let assignment = RandomHash::new().partition(&graph, &weights);
-    let dist = DistributedGraph::new(&graph, &assignment);
+    let dist = DistributedGraph::new(&graph, &assignment).expect("assignment must cover the graph");
     let engine = SimEngine::new(&cluster);
 
     engine.run_on_with_threads(&dist, &PageRank::new(2), 2);

@@ -388,6 +388,73 @@ proptest! {
     }
 
     #[test]
+    fn migration_delta_metrics_match_recompute(
+        g in arb_graph(),
+        w in arb_weights(),
+        kind_idx in 0usize..5,
+        raw_batches in proptest::collection::vec(
+            proptest::collection::vec((0usize..100_000, 0u16..8), 1..60),
+            1..4,
+        ),
+    ) {
+        // Folding migration deltas into a PartitionMetricsTracker must be
+        // bit-identical to a from-scratch PartitionMetrics::compute of the
+        // migrated assignment, for any sequence of random batches (with
+        // duplicate edges and no-op moves included).
+        let mut a = PartitionerKind::ALL[kind_idx].build().partition(&g, &w);
+        let mut tracker = hetgraph::partition::PartitionMetricsTracker::new(&a, &w);
+        for raw in raw_batches {
+            let batch: Vec<(usize, u16)> = raw
+                .into_iter()
+                .map(|(e, m)| (e % g.num_edges(), m % w.len() as u16))
+                .collect();
+            let delta = a.migrate_edges(&g, &batch);
+            tracker.apply_delta(&delta);
+        }
+        let fresh = PartitionMetrics::compute(&a, &w);
+        prop_assert_eq!(tracker.metrics(), &fresh);
+    }
+
+    #[test]
+    fn rebalanced_run_is_thread_count_invariant(
+        g in arb_graph(),
+        w in arb_weights(),
+        slow_machine in 0usize..2,
+    ) {
+        // A rebalanced run — policy decisions, migrations, charged costs
+        // and all — must produce byte-identical reports and data at any
+        // host thread budget, even under a mid-run machine slowdown. An
+        // eager policy (no imbalance threshold, tiny horizon-friendly
+        // batches) maximizes the chance that migrations actually fire.
+        let cluster = Cluster::case2();
+        let skew = w.as_slice()[0];
+        let a = RandomHash::new().partition(&g, &MachineWeights::new(&[skew, 1.0]));
+        let schedule = hetgraph::cluster::PerturbationSchedule::new()
+            .slowdown(slow_machine, 1, None, 0.25);
+        let engine = SimEngine::new(&cluster).with_perturbations(&schedule);
+        let prog = PageRank::new(4);
+        let mut reference: Option<(String, Vec<f64>)> = None;
+        for threads in [1usize, 2, 4] {
+            let mut dist =
+                hetgraph::engine::DistributedGraph::new(&g, &a).expect("assignment covers graph");
+            let mut policy = hetgraph::engine::GreedyRebalance::new()
+                .with_min_imbalance(1.0)
+                .with_cooldown(1)
+                .with_horizon(100);
+            let out =
+                engine.run_rebalanced_on_with_threads(&mut dist, &prog, threads, &mut policy);
+            let json = serde_json::to_string(&out.report).unwrap();
+            match &reference {
+                None => reference = Some((json, out.data)),
+                Some((ref_json, ref_data)) => {
+                    prop_assert!(&json == ref_json, "report diverged at {} threads", threads);
+                    prop_assert!(&out.data == ref_data, "data diverged at {} threads", threads);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn rng_bounded_uniformity_smoke(seed in any::<u64>(), bound in 1u64..1_000) {
         let mut rng = Xoshiro256::new(seed);
         for _ in 0..100 {

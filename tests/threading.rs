@@ -119,7 +119,8 @@ fn sim_trace_bytes_are_identical_across_thread_counts() {
             let assignment = PartitionerKind::Hybrid
                 .build()
                 .partition_recorded(graph, &weights, threads, &recorder);
-            let dist = DistributedGraph::new_with_threads(graph, &assignment, threads);
+            let dist = DistributedGraph::new_with_threads(graph, &assignment, threads)
+                .expect("assignment must cover the graph");
             let engine = SimEngine::new(&cluster).with_recorder(&recorder);
             app.run_on_with_threads(&engine, &dist, threads);
             chrome_trace_sim(&recorder.take_events())

@@ -179,7 +179,10 @@ fn run_benchmark(
 
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!(" ({:.3} Melem/s)", rate_per_s(n, median) / 1e6),
-        Throughput::Bytes(n) => format!(" ({:.3} MiB/s)", rate_per_s(n, median) / (1u64 << 20) as f64),
+        Throughput::Bytes(n) => format!(
+            " ({:.3} MiB/s)",
+            rate_per_s(n, median) / (1u64 << 20) as f64
+        ),
     });
     println!(
         "{label:<50} {:>12}/iter{}",

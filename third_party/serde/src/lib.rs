@@ -254,8 +254,14 @@ mod tests {
         assert_eq!(v.get("u").and_then(Value::as_u64), Some(7));
         assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
         assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
-        assert_eq!(v.get("xs").and_then(Value::as_seq).map(<[Value]>::len), Some(1));
-        assert_eq!(v.get("xs").unwrap().as_seq().unwrap()[0].as_f64(), Some(-2.0));
+        assert_eq!(
+            v.get("xs").and_then(Value::as_seq).map(<[Value]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("xs").unwrap().as_seq().unwrap()[0].as_f64(),
+            Some(-2.0)
+        );
         assert_eq!(v.get("missing"), None);
         assert_eq!(Value::Null.get("n"), None);
         assert_eq!(Value::Int(-1).as_u64(), None);

@@ -187,13 +187,11 @@ fn enum_body(name: &str, rest: &[TokenTree]) -> Result<String, String> {
         };
         i += 1;
         let arm = match chunk.get(i) {
-            None => format!(
-                "{name}::{variant} => ::serde::Value::Str({variant:?}.to_string()),"
-            ),
+            None => format!("{name}::{variant} => ::serde::Value::Str({variant:?}.to_string()),"),
             // Discriminant (`Variant = 3`): still a unit variant to serde.
-            Some(TokenTree::Punct(p)) if p.as_char() == '=' => format!(
-                "{name}::{variant} => ::serde::Value::Str({variant:?}.to_string()),"
-            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                format!("{name}::{variant} => ::serde::Value::Str({variant:?}.to_string()),")
+            }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 let n = split_top_level(g.stream().into_iter().collect())
                     .iter()
@@ -240,5 +238,8 @@ fn enum_body(name: &str, rest: &[TokenTree]) -> Result<String, String> {
         };
         arms.push(arm);
     }
-    Ok(format!("match self {{\n            {}\n        }}", arms.join("\n            ")))
+    Ok(format!(
+        "match self {{\n            {}\n        }}",
+        arms.join("\n            ")
+    ))
 }

@@ -374,7 +374,10 @@ mod tests {
     fn pretty_prints_nested_structures() {
         let v = Value::Map(vec![
             ("name".into(), Value::Str("a\"b".into())),
-            ("xs".into(), Value::Seq(vec![Value::UInt(1), Value::UInt(2)])),
+            (
+                "xs".into(),
+                Value::Seq(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
             ("empty".into(), Value::Seq(vec![])),
         ]);
         let s = to_string_pretty(&v).unwrap();
@@ -418,7 +421,10 @@ mod tests {
                     "xs".into(),
                     Value::Seq(vec![Value::UInt(1), Value::Int(-2), Value::Float(3.5)])
                 ),
-                ("m".into(), Value::Map(vec![("k".into(), Value::Str("v".into()))])),
+                (
+                    "m".into(),
+                    Value::Map(vec![("k".into(), Value::Str("v".into()))])
+                ),
                 ("e".into(), Value::Seq(vec![])),
             ])
         );
@@ -440,7 +446,16 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "tru", "{", "[1,", "{\"a\" 1}", "\"open", "1 2", "{\"a\":}", "nul!", "[1]]",
+            "",
+            "tru",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "\"open",
+            "1 2",
+            "{\"a\":}",
+            "nul!",
+            "[1]]",
         ] {
             assert!(from_str(bad).is_err(), "{bad:?} should fail");
         }
