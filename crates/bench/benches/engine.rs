@@ -8,6 +8,7 @@ use std::hint::black_box;
 
 use hetgraph_apps::{AnyApp, ConnectedComponents, PageRank, TriangleCount};
 use hetgraph_cluster::Cluster;
+use hetgraph_core::metrics::MetricsRegistry;
 use hetgraph_core::obs::{TraceRecorder, NOOP};
 use hetgraph_engine::{DistributedGraph, SimEngine};
 use hetgraph_gen::{ProxySet, RmatConfig};
@@ -90,6 +91,37 @@ fn bench_engine_obs(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_metrics(c: &mut Criterion) {
+    // The metrics overhead gate, mirroring `engine_obs`: the same
+    // workload with (a) the noop registry — one branch per superstep,
+    // must be indistinguishable from the default path — and (b) a live
+    // registry, which is allowed to cost more (atomic counter and
+    // histogram updates per superstep and per machine).
+    let graph = RmatConfig::natural(10_000, 80_000).generate(11);
+    let cluster = Cluster::case2();
+    let assignment = Hybrid::new().partition(&graph, &MachineWeights::uniform(2));
+    let dist = DistributedGraph::new(&graph, &assignment).expect("assignment must cover the graph");
+
+    let mut group = c.benchmark_group("engine_metrics");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    group.bench_function("pagerank_noop_registry", |b| {
+        let engine = SimEngine::new(&cluster).with_metrics(&hetgraph_core::metrics::NOOP);
+        let pagerank = AnyApp::pagerank();
+        b.iter(|| black_box(pagerank.run_on_with_threads(&engine, &dist, 1).makespan_s));
+    });
+    group.bench_function("pagerank_live_registry", |b| {
+        let pagerank = AnyApp::pagerank();
+        b.iter(|| {
+            let metrics = MetricsRegistry::new();
+            let engine = SimEngine::new(&cluster).with_metrics(&metrics);
+            let makespan = pagerank.run_on_with_threads(&engine, &dist, 1).makespan_s;
+            black_box((makespan, metrics.snapshot_sim().counters.len()))
+        });
+    });
+    group.finish();
+}
+
 fn bench_engine_threads(c: &mut Criterion) {
     // Thread-scaling reference: PageRank on the largest standard proxy at
     // the default experiment scale (64), over a shared distributed view,
@@ -123,6 +155,7 @@ criterion_group!(
     benches,
     bench_engine,
     bench_engine_obs,
+    bench_engine_metrics,
     bench_engine_threads
 );
 criterion_main!(benches);

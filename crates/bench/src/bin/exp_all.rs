@@ -1,6 +1,7 @@
 //! Runs every experiment in paper order (the one-shot reproduction).
 //!
-//! Usage: `exp_all [--scale N] [--out DIR] [--threads N] [--trace-dir DIR]`
+//! Usage: `exp_all [--scale N] [--out DIR] [--threads N] [--trace-dir DIR]
+//! [--metrics-dir DIR]`
 //!
 //! With `--out DIR` this additionally emits `BENCH_sweep.json`: host
 //! wall-clock per experiment phase at the configured thread count, plus a
@@ -9,8 +10,10 @@
 //!
 //! With `--trace-dir DIR` a final phase writes Chrome `trace_event` files
 //! for representative cells (profiling, partitioning, and the superstep
-//! timeline on cases 2 and 3) — open them in chrome://tracing or
-//! ui.perfetto.dev.
+//! timeline on every case cluster) — open them in chrome://tracing or
+//! ui.perfetto.dev. With `--metrics-dir DIR` the same phase writes each
+//! case's sim-domain metrics snapshot as JSON and Prometheus text
+//! exposition (`hetgraph report --metrics` ingests the JSON form).
 
 use std::time::Instant;
 
@@ -108,7 +111,7 @@ fn main() {
     timed(&mut phases, "partition_bench", || {
         hetgraph_bench::partition_bench::partition(&ctx);
     });
-    if ctx.trace_dir.is_some() {
+    if ctx.trace_dir.is_some() || ctx.metrics_dir.is_some() {
         timed(&mut phases, "traces", || {
             hetgraph_bench::cases::write_traces(&ctx);
         });
@@ -136,6 +139,17 @@ fn main() {
             headline_serial_wall_s,
             headline_speedup_vs_serial: headline_serial_wall_s / headline_wall_s,
         };
-        hetgraph_bench::output::write_json(ctx.out_dir.as_deref(), "BENCH_sweep", &sweep);
+        let manifest = hetgraph_bench::output::RunManifest::collect(
+            42,
+            ctx.threads,
+            ctx.scale,
+            sweep.total_wall_s,
+        );
+        hetgraph_bench::output::write_json_with_manifest(
+            ctx.out_dir.as_deref(),
+            "BENCH_sweep",
+            &sweep,
+            &manifest,
+        );
     }
 }

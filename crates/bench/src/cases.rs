@@ -2,7 +2,8 @@
 
 use hetgraph_apps::AnyApp;
 use hetgraph_cluster::Cluster;
-use hetgraph_core::obs::{chrome_trace, TraceRecorder};
+use hetgraph_core::metrics::MetricsRegistry;
+use hetgraph_core::obs::{self, chrome_trace, Recorder, TraceRecorder};
 use hetgraph_core::stats;
 use hetgraph_core::Graph;
 use hetgraph_engine::{DistributedGraph, SimEngine};
@@ -393,55 +394,105 @@ pub fn fig10(ctx: &ExperimentContext, case: u32) -> Vec<CaseRow> {
     rows
 }
 
-/// Write Chrome `trace_event` files for representative cells to
-/// `ctx.trace_dir` (no-op when unset): for each heterogeneous cluster
-/// (cases 2 and 3), one profiling trace covering proxy generation and
-/// every CCR measurement cell, plus one trace per selected app covering
+/// Write Chrome `trace_event` files to `ctx.trace_dir` and aggregated
+/// metrics snapshots to `ctx.metrics_dir` for representative cells
+/// (no-op when both are unset). For **every** case cluster (1, 2, and
+/// 3): one profiling trace covering proxy generation and every CCR
+/// measurement cell, plus one trace per selected app covering
 /// CCR-weighted Hybrid partitioning and the full superstep timeline
 /// (per-machine phase spans, barrier-wait attribution, straggler
-/// gauges) on the first natural graph. All files load directly in
-/// chrome://tracing or ui.perfetto.dev.
+/// gauges) on the first natural graph. Trace files load directly in
+/// chrome://tracing or ui.perfetto.dev. With a metrics dir, each case
+/// additionally gets its sim-domain metrics snapshot — aggregated over
+/// the profile cell and every app run — as `{case}.metrics.json` and
+/// Prometheus text exposition as `{case}.metrics.prom`.
 ///
-/// Returns the paths written, in emission order.
+/// Returns the paths written, in emission order (per case: profile
+/// trace, app traces, metrics JSON, metrics prom).
 pub fn write_traces(ctx: &ExperimentContext) -> Vec<PathBuf> {
-    let Some(dir) = ctx.trace_dir.clone() else {
+    if ctx.trace_dir.is_none() && ctx.metrics_dir.is_none() {
         return Vec::new();
-    };
-    std::fs::create_dir_all(&dir)
-        .unwrap_or_else(|e| panic!("creating trace dir {}: {e}", dir.display()));
+    }
+    for dir in [&ctx.trace_dir, &ctx.metrics_dir].into_iter().flatten() {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("creating output dir {}: {e}", dir.display()));
+    }
     let (gname, graph) = ctx.natural_graphs().remove(0);
     let kind = PartitionerKind::Hybrid;
     let mut written = Vec::new();
-    let mut emit = |path: PathBuf, recorder: TraceRecorder| {
-        let events = recorder.take_events();
-        std::fs::write(&path, chrome_trace(&events))
-            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-        println!("trace: {} events -> {}", events.len(), path.display());
+    let mut write = |path: PathBuf, text: &str, what: &str| {
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("{what}: -> {}", path.display());
         written.push(path);
     };
-    for (case, cluster) in [("case2", Cluster::case2()), ("case3", Cluster::case3())] {
+    let cases = [
+        ("case1", Cluster::case1()),
+        ("case2", Cluster::case2()),
+        ("case3", Cluster::case3()),
+    ];
+    for (case, cluster) in cases {
+        let tracing = ctx.trace_dir.is_some();
         let profiling = TraceRecorder::new();
-        let pool = CcrPool::profile_recorded(
+        let recorder: &dyn Recorder = if tracing { &profiling } else { &obs::NOOP };
+        let live_metrics = MetricsRegistry::new();
+        let metrics: &MetricsRegistry = if ctx.metrics_dir.is_some() {
+            &live_metrics
+        } else {
+            &hetgraph_core::metrics::NOOP
+        };
+        let pool = CcrPool::profile_instrumented(
             &cluster,
             &ctx.proxies(),
             ctx.apps(),
             ctx.threads,
-            &profiling,
+            recorder,
+            metrics,
         );
-        emit(dir.join(format!("{case}_profile.trace.json")), profiling);
+        if let Some(dir) = &ctx.trace_dir {
+            let events = profiling.take_events();
+            write(
+                dir.join(format!("{case}_profile.trace.json")),
+                &chrome_trace(&events),
+                "trace",
+            );
+        }
         for app in ctx.apps() {
-            let recorder = TraceRecorder::new();
+            let app_tracer = TraceRecorder::new();
+            let recorder: &dyn Recorder = if tracing { &app_tracer } else { &obs::NOOP };
             let weights = Policy::CcrGuided.weights(&cluster, &pool, app.name());
-            let assignment =
-                kind.build()
-                    .partition_recorded(&graph, &weights, ctx.threads, &recorder);
+            let assignment = kind.build().partition_instrumented(
+                &graph,
+                &weights,
+                ctx.threads,
+                recorder,
+                metrics,
+            );
             let dist = DistributedGraph::new_with_threads(&graph, &assignment, ctx.threads)
                 .expect("assignment must cover the graph");
-            let engine = SimEngine::new(&cluster).with_recorder(&recorder);
+            let engine = SimEngine::new(&cluster)
+                .with_recorder(recorder)
+                .with_metrics(metrics);
             app.run_on_with_threads(&engine, &dist, ctx.threads);
-            emit(
-                dir.join(format!("{case}_{gname}_{}.trace.json", app.name())),
-                recorder,
+            if let Some(dir) = &ctx.trace_dir {
+                let events = app_tracer.take_events();
+                write(
+                    dir.join(format!("{case}_{gname}_{}.trace.json", app.name())),
+                    &chrome_trace(&events),
+                    "trace",
+                );
+            }
+        }
+        if let Some(dir) = &ctx.metrics_dir {
+            let snapshot = metrics.snapshot_sim();
+            write(
+                dir.join(format!("{case}.metrics.json")),
+                &snapshot.to_json(),
+                "metrics",
+            );
+            write(
+                dir.join(format!("{case}.metrics.prom")),
+                &snapshot.to_prometheus(),
+                "metrics",
             );
         }
     }
@@ -561,20 +612,57 @@ mod tests {
     fn write_traces_emits_loadable_chrome_files() {
         let mut ctx = ExperimentContext::at_scale(2048);
         ctx.apps = vec![AnyApp::pagerank()];
-        assert!(write_traces(&ctx).is_empty(), "no trace_dir -> no files");
+        assert!(write_traces(&ctx).is_empty(), "no dirs -> no files");
 
         let dir = std::env::temp_dir().join(format!("hetgraph_traces_{}", std::process::id()));
+        let mdir = std::env::temp_dir().join(format!("hetgraph_metrics_{}", std::process::id()));
         ctx.trace_dir = Some(dir.clone());
+        ctx.metrics_dir = Some(mdir.clone());
         let written = write_traces(&ctx);
-        // Two clusters x (one profile file + one app file).
-        assert_eq!(written.len(), 4);
+        // Every case cluster gets one profile trace, one trace per app,
+        // and a metrics snapshot in both formats.
+        let names: Vec<String> = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        let expected: Vec<String> = ["case1", "case2", "case3"]
+            .iter()
+            .flat_map(|case| {
+                [
+                    format!("{case}_profile.trace.json"),
+                    format!("{case}_amazon_pagerank.trace.json"),
+                    format!("{case}.metrics.json"),
+                    format!("{case}.metrics.prom"),
+                ]
+            })
+            .collect();
+        assert_eq!(names, expected);
         let sim_trace = std::fs::read_to_string(&written[1]).unwrap();
-        assert!(written[1].ends_with("case2_amazon_pagerank.trace.json"));
+        assert!(written[1].ends_with("case1_amazon_pagerank.trace.json"));
         assert!(sim_trace.contains("\"traceEvents\""));
         assert!(sim_trace.contains("barrier_wait"));
         assert!(sim_trace.contains("partition/hybrid"));
         let profile_trace = std::fs::read_to_string(&written[0]).unwrap();
         assert!(profile_trace.contains("proxy_generation"));
+        let metrics_json = std::fs::read_to_string(&written[2]).unwrap();
+        assert!(metrics_json.contains("engine/superstep_makespan_s"));
+        assert!(
+            !metrics_json.contains("\"Wall\""),
+            "snapshots are sim-domain only"
+        );
+        let back = hetgraph_core::metrics::MetricsSnapshot::from_json(&metrics_json).unwrap();
+        assert_eq!(back.to_json(), metrics_json, "snapshot round-trips exactly");
+        let prom = std::fs::read_to_string(&written[3]).unwrap();
+        assert!(prom.contains("# TYPE hetgraph_engine_supersteps_total counter"));
+
+        // Metrics-only mode still covers every case, with no trace files.
+        ctx.trace_dir = None;
+        let metrics_only = write_traces(&ctx);
+        assert_eq!(metrics_only.len(), 6);
+        assert!(metrics_only
+            .iter()
+            .all(|p| p.to_string_lossy().contains(".metrics.")));
         std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&mdir).unwrap();
     }
 }

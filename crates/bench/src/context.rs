@@ -26,6 +26,10 @@ pub struct ExperimentContext {
     /// Where to write Chrome `trace_event` files for representative cells
     /// (`None` = no traces; set by `--trace-dir`).
     pub trace_dir: Option<PathBuf>,
+    /// Where to write aggregated metrics snapshots (JSON + Prometheus
+    /// text exposition) for representative cells (`None` = no snapshots;
+    /// set by `--metrics-dir`).
+    pub metrics_dir: Option<PathBuf>,
 }
 
 impl Default for ExperimentContext {
@@ -36,6 +40,7 @@ impl Default for ExperimentContext {
             threads: hetgraph_core::par::default_host_threads(),
             apps: hetgraph_apps::standard_apps(),
             trace_dir: None,
+            metrics_dir: None,
         }
     }
 }
@@ -123,6 +128,10 @@ impl ExperimentContext {
                     let v = it.next().ok_or("--trace-dir needs a value")?;
                     ctx.trace_dir = Some(PathBuf::from(v));
                 }
+                "--metrics-dir" => {
+                    let v = it.next().ok_or("--metrics-dir needs a value")?;
+                    ctx.metrics_dir = Some(PathBuf::from(v));
+                }
                 other if extra.contains(&other) => {
                     let v = it.next().ok_or_else(|| format!("{other} needs a value"))?;
                     rest.push(other.to_string());
@@ -150,7 +159,9 @@ impl ExperimentContext {
              four; registry: pagerank,coloring,connected_components,\n                \
              triangle_count,sssp,kcore)\n  \
              --trace-dir DIR  write Chrome trace_event files for representative\n                \
-             cells to DIR (open in chrome://tracing or ui.perfetto.dev)",
+             cells to DIR (open in chrome://tracing or ui.perfetto.dev)\n  \
+             --metrics-dir DIR  write per-case metrics snapshots (sim-domain JSON\n                \
+             plus Prometheus text exposition) to DIR",
         );
         for e in extra {
             s.push_str(&format!("\n  {e} VALUE"));
@@ -364,5 +375,18 @@ mod tests {
         );
         assert!(ExperimentContext::default().trace_dir.is_none());
         assert!(ExperimentContext::parse_args(argv(&["--trace-dir"]), &[]).is_err());
+    }
+
+    #[test]
+    fn parse_args_accepts_metrics_dir() {
+        let (ctx, _) =
+            ExperimentContext::parse_args(argv(&["--metrics-dir", "metrics"]), &[]).unwrap();
+        assert_eq!(
+            ctx.metrics_dir.as_deref(),
+            Some(std::path::Path::new("metrics"))
+        );
+        assert!(ExperimentContext::default().metrics_dir.is_none());
+        assert!(ExperimentContext::parse_args(argv(&["--metrics-dir"]), &[]).is_err());
+        assert!(ExperimentContext::usage(&[]).contains("--metrics-dir"));
     }
 }

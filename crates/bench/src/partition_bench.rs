@@ -244,7 +244,12 @@ pub fn partition(ctx: &ExperimentContext) -> PartitionBench {
         oblivious_speedup,
         total_wall_s: t0.elapsed().as_secs_f64(),
     };
-    output::write_json(ctx.out_dir.as_deref(), "BENCH_partition", &bench);
+    output::write_json_with_manifest(
+        ctx.out_dir.as_deref(),
+        "BENCH_partition",
+        &bench,
+        &output::RunManifest::collect(42, ctx.threads, scale, bench.total_wall_s),
+    );
     bench
 }
 

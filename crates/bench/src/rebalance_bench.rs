@@ -210,7 +210,12 @@ pub fn rebalance(ctx: &ExperimentContext) -> RebalanceBench {
         rows,
         total_wall_s: t0.elapsed().as_secs_f64(),
     };
-    output::write_json(ctx.out_dir.as_deref(), "BENCH_rebalance", &bench);
+    output::write_json_with_manifest(
+        ctx.out_dir.as_deref(),
+        "BENCH_rebalance",
+        &bench,
+        &output::RunManifest::collect(42, ctx.threads, scale, bench.total_wall_s),
+    );
     bench
 }
 

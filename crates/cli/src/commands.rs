@@ -324,6 +324,14 @@ pub fn profile(args: &[String]) -> Result<(), CliError> {
 /// else gets the Chrome `trace_event` JSON of the *simulated-time* events
 /// only — which is byte-identical at any `--threads` value, and opens in
 /// `chrome://tracing` or Perfetto.
+///
+/// With `--metrics-out FILE` the same pipeline additionally runs under a
+/// live [`hetgraph_core::metrics::MetricsRegistry`] and the aggregated
+/// snapshot is written to `FILE`: a `.prom` extension gets Prometheus
+/// text exposition, anything else pretty JSON. The snapshot holds the
+/// *sim-domain* metrics only (byte-identical at any `--threads` value)
+/// unless the filename contains `.full.`, which opts into the wall-clock
+/// series too.
 pub fn simulate(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
@@ -336,6 +344,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             "scale",
             "threads",
             "trace-out",
+            "metrics-out",
             "rebalance",
         ],
     )?;
@@ -350,18 +359,25 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
     } else {
         &hetgraph_core::obs::NOOP
     };
+    let live_metrics = hetgraph_core::metrics::MetricsRegistry::new();
+    let metrics: &hetgraph_core::metrics::MetricsRegistry = if flags.get("metrics-out").is_some() {
+        &live_metrics
+    } else {
+        &hetgraph_core::metrics::NOOP
+    };
     let policy = flags.get("policy").unwrap_or("ccr");
     let weights = match policy {
         "default" => MachineWeights::uniform(cluster.len()),
         "prior" => MachineWeights::from_thread_counts(&cluster),
         "ccr" => {
             let scale: u32 = flags.get_or("scale", 640u32)?;
-            let pool = CcrPool::profile_recorded(
+            let pool = CcrPool::profile_instrumented(
                 &cluster,
                 &ProxySet::standard(scale.max(1)),
                 std::slice::from_ref(&app),
                 threads,
                 recorder,
+                metrics,
             );
             MachineWeights::from_ccr(pool.ccr(app.name()).expect("just profiled").ratios())
         }
@@ -373,8 +389,10 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
     };
     let assignment = kind
         .build()
-        .partition_recorded(&g, &weights, threads, recorder);
-    let engine = hetgraph_engine::SimEngine::new(&cluster).with_recorder(recorder);
+        .partition_instrumented(&g, &weights, threads, recorder, metrics);
+    let engine = hetgraph_engine::SimEngine::new(&cluster)
+        .with_recorder(recorder)
+        .with_metrics(metrics);
     let (report, migrations) = match flags.get("rebalance") {
         None | Some("off") => (
             app.run_with_threads(&engine, &g, &assignment, threads),
@@ -406,12 +424,14 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
     if let Some(line) = migrations {
         println!("{line}");
     }
+    let labels = cluster.machine_labels();
     println!(
         "per-machine busy: [{}]",
         report
             .per_machine_busy_s
             .iter()
-            .map(|s| format!("{s:.4}s"))
+            .zip(&labels)
+            .map(|(s, label)| format!("{label} {s:.4}s"))
             .collect::<Vec<_>>()
             .join(", ")
     );
@@ -429,6 +449,57 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             events.len()
         );
     }
+    if let Some(path) = flags.get("metrics-out") {
+        let snapshot = if path.contains(".full.") {
+            metrics.snapshot()
+        } else {
+            metrics.snapshot_sim()
+        };
+        let text = if path.ends_with(".prom") {
+            snapshot.to_prometheus()
+        } else {
+            snapshot.to_json()
+        };
+        std::fs::write(path, &text).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        println!(
+            "metrics: {} counters, {} gauges, {} histograms, wrote {path}",
+            snapshot.counters.len(),
+            snapshot.gauges.len(),
+            snapshot.histograms.len()
+        );
+    }
+    Ok(())
+}
+
+/// `hetgraph report` — offline straggler-attribution report over an
+/// exported trace.
+///
+/// Ingests a JSON-lines trace written by `simulate --trace-out FILE.jsonl`
+/// (or `exp_all --trace-dir`) and prints the per-machine barrier-wait
+/// table, the top-k straggler supersteps ranked by barrier waste, the
+/// critical-path phase breakdown, and the migration-effectiveness
+/// timeline. `--metrics FILE` folds a JSON metrics snapshot (from
+/// `--metrics-out`) into the report.
+pub fn report(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["trace", "metrics", "top"])?;
+    let trace_path = flags.require("trace")?;
+    let top: usize = flags.get_or("top", 5usize)?;
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| CliError(format!("cannot read {trace_path}: {e}")))?;
+    let analysis = hetgraph_engine::TraceAnalysis::from_jsonl(&text)
+        .map_err(|e| CliError(format!("cannot analyze {trace_path}: {e}")))?;
+    let snapshot = match flags.get("metrics") {
+        Some(path) => {
+            let body = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            Some(
+                hetgraph_core::metrics::MetricsSnapshot::from_json(&body)
+                    .map_err(|e| CliError(format!("cannot parse {path}: {e}")))?,
+            )
+        }
+        None => None,
+    };
+    print!("{}", analysis.render(top, snapshot.as_ref()));
     Ok(())
 }
 
@@ -701,6 +772,122 @@ mod tests {
                 "simulated-time trace must not depend on --threads"
             );
         }
+    }
+
+    #[test]
+    fn simulate_metrics_out_is_byte_identical_across_thread_counts() {
+        let path = tmp("metrics_in.hgb");
+        generate(&argv(&[
+            "--family",
+            "powerlaw",
+            "--vertices",
+            "900",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let metrics_at = |threads: &str, out: &str| {
+            simulate(&argv(&[
+                "--input",
+                &path,
+                "--cluster",
+                "case2",
+                "--app",
+                "pagerank",
+                "--algorithm",
+                "hybrid",
+                "--policy",
+                "ccr",
+                "--scale",
+                "3200",
+                "--threads",
+                threads,
+                "--metrics-out",
+                out,
+            ]))
+            .unwrap();
+            std::fs::read_to_string(out).unwrap()
+        };
+        let reference = metrics_at("1", &tmp("metrics_1.json"));
+        assert!(reference.contains("engine/superstep_makespan_s"));
+        assert!(reference.contains("engine/supersteps_total"));
+        assert!(reference.contains("partition/hybrid/edges_total"));
+        assert!(
+            !reference.contains("\"Wall\""),
+            "default snapshot carries sim-domain metrics only"
+        );
+        for threads in ["2", "4"] {
+            assert_eq!(
+                metrics_at(threads, &tmp(&format!("metrics_{threads}.json"))),
+                reference,
+                "sim-domain metrics snapshot must not depend on --threads"
+            );
+        }
+        // Round-trip through the parser lands on the same bytes.
+        let back = hetgraph_core::metrics::MetricsSnapshot::from_json(&reference).unwrap();
+        assert_eq!(back.to_json(), reference);
+        // `.prom` selects Prometheus text exposition; `.full.` opts into
+        // the wall-clock series.
+        let prom = metrics_at("2", &tmp("metrics.prom"));
+        assert!(prom.contains("# TYPE hetgraph_engine_supersteps_total counter"));
+        assert!(prom.contains("domain=\"sim\""));
+        let full = metrics_at("2", &tmp("metrics.full.json"));
+        assert!(full.contains("\"Wall\""), "full snapshot has wall metrics");
+    }
+
+    #[test]
+    fn report_command_renders_exported_trace() {
+        let path = tmp("report_in.hgb");
+        generate(&argv(&[
+            "--family",
+            "powerlaw",
+            "--vertices",
+            "900",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let trace = tmp("report_trace.jsonl");
+        let metrics = tmp("report_metrics.json");
+        simulate(&argv(&[
+            "--input",
+            &path,
+            "--cluster",
+            "case3",
+            "--app",
+            "pagerank",
+            "--policy",
+            "default",
+            "--rebalance",
+            "greedy",
+            "--trace-out",
+            &trace,
+            "--metrics-out",
+            &metrics,
+        ]))
+        .unwrap();
+        report(&argv(&[
+            "--trace",
+            &trace,
+            "--metrics",
+            &metrics,
+            "--top",
+            "3",
+        ]))
+        .unwrap();
+        // A chrome-format trace (non-.jsonl) is rejected with a useful hint.
+        let chrome = tmp("report_trace.json");
+        simulate(&argv(&[
+            "--input",
+            &path,
+            "--policy",
+            "default",
+            "--trace-out",
+            &chrome,
+        ]))
+        .unwrap();
+        let err = report(&argv(&["--trace", &chrome])).unwrap_err();
+        assert!(err.0.contains("cannot analyze"), "{err:?}");
     }
 
     #[test]

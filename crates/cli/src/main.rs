@@ -6,7 +6,8 @@
 //! hetgraph stats     --input FILE
 //! hetgraph partition --input FILE --machines K [--algorithm NAME] [--weights a,b,...]
 //! hetgraph profile   [--cluster case1|case2|case3] [--scale N] [--apps LIST]
-//! hetgraph simulate  --input FILE [--cluster C] [--app A] [--algorithm P] [--policy default|prior|ccr] [--rebalance greedy|off] [--trace-out FILE]
+//! hetgraph simulate  --input FILE [--cluster C] [--app A] [--algorithm P] [--policy default|prior|ccr] [--rebalance greedy|off] [--trace-out FILE] [--metrics-out FILE]
+//! hetgraph report    --trace FILE.jsonl [--metrics FILE.json] [--top K]
 //! hetgraph submit    --input FILE [--cluster C] [--app A] [--algorithm P] [--policy ...] [--threads N]
 //! ```
 //!
@@ -44,6 +45,13 @@ commands:
              [--trace-out FILE]  Chrome trace_event JSON of the simulated
              timeline (.jsonl = every event as JSON-lines); open in
              chrome://tracing or ui.perfetto.dev
+             [--metrics-out FILE]  aggregated metrics snapshot (.prom =
+             Prometheus text exposition, else JSON); sim-domain only —
+             byte-identical at any --threads — unless the name has .full.
+  report     offline straggler report from an exported trace
+             --trace FILE.jsonl  [--metrics FILE.json]  [--top K]
+             prints per-machine barrier waits, top-K straggler supersteps,
+             critical-path phase breakdown, and the migration timeline
   submit     run one job through the full Fig 7b framework flow
              (deploy = offline profiling of every registered app, then
              CCR-pick, partition, execute)
@@ -68,6 +76,7 @@ fn main() {
         "partition" => commands::partition(rest),
         "profile" => commands::profile(rest),
         "simulate" => commands::simulate(rest),
+        "report" => commands::report(rest),
         "submit" => commands::submit(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -51,6 +51,17 @@ impl Cluster {
         &self.machines[id.index()]
     }
 
+    /// Human-readable per-machine labels in partition order
+    /// (`"m3 (xeon_l)"`), for report tables and metric legends where a
+    /// bare track index would force readers back to the cluster spec.
+    pub fn machine_labels(&self) -> Vec<String> {
+        self.machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| format!("m{i} ({})", m.name))
+            .collect()
+    }
+
     /// All machine ids in order.
     pub fn ids(&self) -> impl Iterator<Item = MachineId> {
         (0..self.machines.len()).map(MachineId::from)
@@ -162,6 +173,12 @@ mod tests {
         let c = Cluster::case2();
         assert_eq!(c.machine(hetgraph_core::MachineId(1)).name, "xeon_l");
         assert_eq!(c.ids().count(), 2);
+    }
+
+    #[test]
+    fn machine_labels_follow_partition_order() {
+        let c = Cluster::case3();
+        assert_eq!(c.machine_labels(), vec!["m0 (tiny_arm)", "m1 (xeon_l)"]);
     }
 
     #[test]

@@ -31,6 +31,11 @@
 //! - [`obs`] — structured observability: the [`obs::Recorder`] trait,
 //!   span/counter/gauge events in simulated and wall time, and exporters
 //!   to JSON-lines and Chrome `trace_event` format.
+//! - [`metrics`] — aggregated telemetry: a zero-cost-when-disabled
+//!   [`metrics::MetricsRegistry`] of counters, gauges, and log-bucketed
+//!   mergeable histograms, snapshotted to JSON or Prometheus text. The
+//!   aggregation companion to the `obs` event stream, under the same
+//!   two-time-domain determinism contract.
 //! - [`io`] — text and binary edge-list serialization.
 //!
 //! The substrate deliberately contains no policy: partitioning, machine
@@ -48,6 +53,7 @@ pub mod error;
 pub mod frontier;
 pub mod graph;
 pub mod io;
+pub mod metrics;
 pub mod obs;
 pub mod par;
 pub mod prefetch;

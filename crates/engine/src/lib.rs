@@ -23,11 +23,14 @@
 //!   driven by the per-step straggler signals; [`GreedyRebalance`] is the
 //!   built-in amortizing policy.
 //! - [`report`] — [`SimReport`]: everything the evaluation harness reads.
+//! - [`analyze`] — [`TraceAnalysis`]: offline straggler-attribution
+//!   analytics over exported trace JSONL (backs `hetgraph report`).
 //! - [`error`] — [`EngineError`]: typed construction failures.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod distributed;
 pub mod error;
 pub mod program;
@@ -35,6 +38,7 @@ pub mod rebalance;
 pub mod report;
 pub mod sim;
 
+pub use analyze::TraceAnalysis;
 pub use distributed::DistributedGraph;
 pub use error::EngineError;
 pub use program::{ActiveInit, Direction, GasProgram};

@@ -68,7 +68,8 @@ use hetgraph_cluster::{
     AppProfile, Cluster, EnergyModel, EnergyReport, GraphShape, MachineSpec, NetworkModel,
     PerturbationSchedule, WorkCounts, MIGRATION_BYTES_PER_EDGE,
 };
-use hetgraph_core::obs::{Recorder, TraceEvent, NOOP};
+use hetgraph_core::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use hetgraph_core::obs::{Recorder, TimeDomain, TraceEvent, NOOP};
 use hetgraph_core::par::{scheduled, Pool};
 use hetgraph_core::{FrontierSet, Graph, VertexId};
 use hetgraph_partition::PartitionAssignment;
@@ -96,6 +97,7 @@ pub struct SimEngine<'a> {
     cluster: &'a Cluster,
     network: NetworkModel,
     recorder: &'a dyn Recorder,
+    metrics: &'a MetricsRegistry,
     perturbations: Option<&'a PerturbationSchedule>,
 }
 
@@ -195,6 +197,7 @@ impl<'a> SimEngine<'a> {
             cluster,
             network: NetworkModel::default(),
             recorder: &NOOP,
+            metrics: &hetgraph_core::metrics::NOOP,
             perturbations: None,
         }
     }
@@ -205,6 +208,7 @@ impl<'a> SimEngine<'a> {
             cluster,
             network,
             recorder: &NOOP,
+            metrics: &hetgraph_core::metrics::NOOP,
             perturbations: None,
         }
     }
@@ -236,6 +240,21 @@ impl<'a> SimEngine<'a> {
         self
     }
 
+    /// Attach a [`MetricsRegistry`]. With an enabled registry the kernel
+    /// aggregates per-superstep telemetry — a makespan histogram,
+    /// per-machine busy and `barrier_wait` histograms, active-vertex and
+    /// superstep counters, imbalance/straggler gauges, and rebalance
+    /// trigger/batch/migration counters — all in the sim domain, recorded
+    /// only from the serial timing section, so
+    /// [`MetricsRegistry::snapshot_sim`] is byte-identical at any host
+    /// thread count. With the default
+    /// [`metrics::NOOP`](hetgraph_core::metrics::NOOP) registry the whole
+    /// feature costs one branch per superstep.
+    pub fn with_metrics(mut self, metrics: &'a MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// The cluster this engine simulates.
     pub fn cluster(&self) -> &Cluster {
         self.cluster
@@ -250,6 +269,13 @@ impl<'a> SimEngine<'a> {
     /// [`SimEngine::with_recorder`] was called).
     pub fn recorder(&self) -> &dyn Recorder {
         self.recorder
+    }
+
+    /// The metrics registry aggregates land in (the disabled
+    /// [`metrics::NOOP`](hetgraph_core::metrics::NOOP) unless
+    /// [`SimEngine::with_metrics`] was called).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.metrics
     }
 
     /// Execute `program` on `graph` partitioned by `assignment`, serially.
@@ -457,6 +483,9 @@ impl<'a> SimEngine<'a> {
         // of `host_threads`.
         let recorder = self.recorder;
         let tracing = recorder.enabled();
+        // Aggregated telemetry: `None` with the default disabled registry,
+        // so the per-superstep cost mirrors the recorder's single branch.
+        let kernel_metrics = KernelMetrics::new(self.metrics, p);
         // Snapshot of `step_work` taken between gather-merge and scatter,
         // used to split each machine's busy time into per-phase spans.
         let mut gather_work = vec![WorkCounts::zero(); p];
@@ -730,6 +759,9 @@ impl<'a> SimEngine<'a> {
                     wall_s: step_wall,
                 });
             }
+            if let Some(km) = &kernel_metrics {
+                km.observe_step(active_count, &busy, step_compute, step_comm);
+            }
             makespan += step_wall;
             compute_total += step_compute;
             comm_total += step_comm;
@@ -756,6 +788,14 @@ impl<'a> SimEngine<'a> {
                         };
                         pol.plan(&signals, dist, machines, &self.network)
                     };
+                    if let Some(km) = &kernel_metrics {
+                        // Trigger decisions: every consultation counts,
+                        // batches only when the policy actually fired.
+                        km.rebalance_plans.inc();
+                        if !plan.is_empty() {
+                            km.rebalance_batches.inc();
+                        }
+                    }
                     if !plan.is_empty() {
                         let delta = access
                             .exclusive()
@@ -777,6 +817,12 @@ impl<'a> SimEngine<'a> {
                                 })
                                 .fold(0.0f64, f64::max);
                             let cost = transfer + self.network.barrier_latency_s;
+                            if let Some(km) = &kernel_metrics {
+                                km.migrated_edges.add(delta.edges_moved() as u64);
+                                km.migration_bytes.add(bytes as u64);
+                                km.batch_edges.observe(delta.edges_moved() as f64);
+                                km.migration_cost.observe(cost);
+                            }
                             if tracing {
                                 for &(f, t, _) in &pairs {
                                     for lane in [f.0, t.0] {
@@ -842,6 +888,85 @@ impl<'a> SimEngine<'a> {
                 steps,
             },
         }
+    }
+}
+
+/// Handles for the kernel's aggregated telemetry, registered once per run
+/// when the engine's [`MetricsRegistry`] is enabled. Everything here is
+/// sim-domain: observed only from the kernel's serial sections, from
+/// deterministic simulated quantities, so sim snapshots are byte-identical
+/// at any host thread count.
+struct KernelMetrics {
+    supersteps: Counter,
+    active_vertices: Counter,
+    makespan: Histogram,
+    comm: Histogram,
+    /// Per-machine busy-time histograms, indexed by machine.
+    busy: Vec<Histogram>,
+    /// Per-machine barrier-wait (slack) histograms, indexed by machine.
+    barrier_wait: Vec<Histogram>,
+    imbalance: Gauge,
+    straggler: Gauge,
+    rebalance_plans: Counter,
+    rebalance_batches: Counter,
+    migrated_edges: Counter,
+    migration_bytes: Counter,
+    batch_edges: Histogram,
+    migration_cost: Histogram,
+}
+
+impl KernelMetrics {
+    /// Register the kernel's metrics; `None` when the registry is
+    /// disabled, so the hot loop pays exactly one `Option` check per
+    /// superstep.
+    fn new(metrics: &MetricsRegistry, p: usize) -> Option<Self> {
+        if !metrics.enabled() {
+            return None;
+        }
+        let sim = TimeDomain::Sim;
+        Some(KernelMetrics {
+            supersteps: metrics.counter("engine/supersteps_total", sim),
+            active_vertices: metrics.counter("engine/active_vertices_total", sim),
+            makespan: metrics.histogram("engine/superstep_makespan_s", sim),
+            comm: metrics.histogram("engine/superstep_comm_s", sim),
+            busy: (0..p)
+                .map(|i| metrics.histogram(&format!("engine/machine/{i}/busy_s"), sim))
+                .collect(),
+            barrier_wait: (0..p)
+                .map(|i| metrics.histogram(&format!("engine/machine/{i}/barrier_wait_s"), sim))
+                .collect(),
+            imbalance: metrics.gauge("engine/imbalance/last", sim),
+            straggler: metrics.gauge("engine/straggler_machine/last", sim),
+            rebalance_plans: metrics.counter("engine/rebalance/plans_total", sim),
+            rebalance_batches: metrics.counter("engine/rebalance/batches_total", sim),
+            migrated_edges: metrics.counter("engine/rebalance/migrated_edges_total", sim),
+            migration_bytes: metrics.counter("engine/rebalance/migration_bytes_total", sim),
+            batch_edges: metrics.histogram("engine/rebalance/batch_edges", sim),
+            migration_cost: metrics.histogram("engine/rebalance/migration_cost_s", sim),
+        })
+    }
+
+    /// Fold one superstep's timing into the aggregates. Gauges use the
+    /// same formulas as [`emit_step_trace`] (and
+    /// [`crate::report::StepRecord::straggler`]), so trace, report, and
+    /// metrics views of a run agree exactly.
+    fn observe_step(&self, active: usize, busy: &[f64], step_compute: f64, step_comm: f64) {
+        self.supersteps.inc();
+        self.active_vertices.add(active as u64);
+        self.makespan.observe(step_compute + step_comm);
+        self.comm.observe(step_comm);
+        for (i, &b) in busy.iter().enumerate() {
+            self.busy[i].observe(b);
+            self.barrier_wait[i].observe(step_compute - b);
+        }
+        let mean_busy = busy.iter().sum::<f64>() / busy.len() as f64;
+        self.imbalance.set(if mean_busy > 0.0 {
+            step_compute / mean_busy
+        } else {
+            1.0
+        });
+        let straggler = busy.iter().position(|&b| b == step_compute).unwrap_or(0);
+        self.straggler.set(straggler as f64);
     }
 }
 

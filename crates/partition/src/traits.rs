@@ -1,6 +1,7 @@
 //! The partitioner interface.
 
-use hetgraph_core::obs::{Recorder, TraceEvent};
+use hetgraph_core::metrics::MetricsRegistry;
+use hetgraph_core::obs::{Recorder, TimeDomain, TraceEvent};
 use hetgraph_core::Graph;
 
 use crate::assignment::PartitionAssignment;
@@ -97,6 +98,52 @@ pub trait Partitioner {
                 t1,
                 scans as f64,
             ));
+        }
+        assignment
+    }
+
+    /// [`Partitioner::partition_recorded`] with aggregated metrics on top:
+    /// per-algorithm edge and greedy-scan counters (sim domain — both are
+    /// deterministic properties of the input, so they belong in the
+    /// byte-stable snapshot), plus a wall-clock duration histogram and an
+    /// edge-throughput gauge (wall domain — host-dependent). With both
+    /// sinks disabled this is exactly `partition_with_threads`.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    fn partition_instrumented(
+        &self,
+        graph: &Graph,
+        weights: &MachineWeights,
+        host_threads: usize,
+        recorder: &dyn Recorder,
+        metrics: &MetricsRegistry,
+    ) -> PartitionAssignment {
+        if !metrics.enabled() {
+            return self.partition_recorded(graph, weights, host_threads, recorder);
+        }
+        let t0 = std::time::Instant::now();
+        let assignment = self.partition_recorded(graph, weights, host_threads, recorder);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let name = self.name();
+        metrics
+            .counter(&format!("partition/{name}/edges_total"), TimeDomain::Sim)
+            .add(graph.num_edges() as u64);
+        if let Some(scans) = self.greedy_scans(graph) {
+            metrics
+                .counter(
+                    &format!("partition/{name}/greedy_scans_total"),
+                    TimeDomain::Sim,
+                )
+                .add(scans);
+        }
+        metrics
+            .histogram(&format!("partition/{name}/wall_s"), TimeDomain::Wall)
+            .observe(wall_s);
+        if wall_s > 0.0 {
+            metrics
+                .gauge(&format!("partition/{name}/edges_per_sec"), TimeDomain::Wall)
+                .set(graph.num_edges() as f64 / wall_s);
         }
         assignment
     }
@@ -206,6 +253,46 @@ mod tests {
                 .find(|e| e.name == "partition_edges")
                 .unwrap_or_else(|| panic!("{kind} edge counter"));
             assert_eq!(edges_counter.value, g.num_edges() as f64);
+        }
+    }
+
+    #[test]
+    fn partition_instrumented_matches_plain_and_aggregates() {
+        use hetgraph_core::metrics::{MetricsRegistry, NOOP as METRICS_NOOP};
+        use hetgraph_core::obs::NOOP;
+        use hetgraph_core::{Edge, EdgeList};
+        let n = 200u32;
+        let edges: Vec<Edge> = (0..n).map(|v| Edge::new(v, (v * 7 + 1) % n)).collect();
+        let g = Graph::from_edge_list(EdgeList::from_edges(n, edges));
+        let w = crate::MachineWeights::uniform(4);
+        for kind in PartitionerKind::ALL {
+            let p = kind.build();
+            let plain = p.partition_with_threads(&g, &w, 1);
+            let noop = p.partition_instrumented(&g, &w, 1, &NOOP, &METRICS_NOOP);
+            assert_eq!(plain.edge_machines(), noop.edge_machines(), "{kind}");
+            let m = MetricsRegistry::new();
+            let inst = p.partition_instrumented(&g, &w, 1, &NOOP, &m);
+            assert_eq!(plain.edge_machines(), inst.edge_machines(), "{kind}");
+            let snap = m.snapshot();
+            assert_eq!(
+                snap.counter_value(&format!("partition/{kind}/edges_total")),
+                Some(g.num_edges() as u64),
+                "{kind}"
+            );
+            assert_eq!(
+                snap.counter_value(&format!("partition/{kind}/greedy_scans_total")),
+                p.greedy_scans(&g),
+                "{kind}"
+            );
+            // The wall histogram saw exactly one partition call, and the
+            // sim-domain snapshot carries only the deterministic counters.
+            let h = snap.histogram(&format!("partition/{kind}/wall_s")).unwrap();
+            assert_eq!(h.count(), 1, "{kind}");
+            let sim = m.snapshot_sim();
+            assert!(sim.histograms.is_empty(), "{kind}");
+            assert!(sim
+                .counter_value(&format!("partition/{kind}/edges_total"))
+                .is_some());
         }
     }
 

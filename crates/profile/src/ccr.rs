@@ -157,9 +157,42 @@ impl CcrPool {
         host_threads: usize,
         recorder: &dyn hetgraph_core::obs::Recorder,
     ) -> Self {
-        use hetgraph_core::obs::{TraceBuffer, TraceEvent};
+        Self::profile_instrumented(
+            cluster,
+            proxies,
+            apps,
+            host_threads,
+            recorder,
+            &hetgraph_core::metrics::NOOP,
+        )
+    }
+
+    /// [`CcrPool::profile_recorded`] with aggregated metrics on top:
+    /// deterministic cell/proxy counters in the sim domain (they depend
+    /// only on the cluster composition and app list, so they belong in
+    /// the byte-stable snapshot) plus wall-clock histograms for proxy
+    /// generation and per measurement cell. Cell durations are staged in
+    /// a per-cell [`hetgraph_core::metrics::HistogramShard`] and folded
+    /// with one atomic pass — the metrics analogue of the per-worker
+    /// `TraceBuffer` — so worker scheduling cannot interleave partial
+    /// updates. The returned pool is identical with any sink
+    /// combination.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn profile_instrumented(
+        cluster: &Cluster,
+        proxies: &ProxySet,
+        apps: &[AnyApp],
+        host_threads: usize,
+        recorder: &dyn hetgraph_core::obs::Recorder,
+        metrics: &hetgraph_core::metrics::MetricsRegistry,
+    ) -> Self {
+        use hetgraph_core::metrics::HistogramShard;
+        use hetgraph_core::obs::{TimeDomain, TraceBuffer, TraceEvent};
         let specs = proxies.proxies();
         let t_gen0 = recorder.now_us();
+        let wall_gen0 = metrics.enabled().then(std::time::Instant::now);
         let graphs: Vec<Graph> =
             hetgraph_core::par::scheduled(specs.len(), host_threads, |i| specs[i].generate());
         if recorder.enabled() {
@@ -175,31 +208,54 @@ impl CcrPool {
         let groups = cluster.groups();
         let group_list: Vec<_> = groups.iter().collect();
         let n_groups = group_list.len();
+        let cell_wall = metrics.histogram("profile/cell_wall_s", TimeDomain::Wall);
+        if let Some(t0) = wall_gen0 {
+            metrics
+                .counter("profile/proxy_graphs_total", TimeDomain::Sim)
+                .add(specs.len() as u64);
+            metrics
+                .counter("profile/measurement_cells_total", TimeDomain::Sim)
+                .add((apps.len() * n_groups) as u64);
+            metrics
+                .histogram("profile/proxy_generation_wall_s", TimeDomain::Wall)
+                .observe(t0.elapsed().as_secs_f64());
+        }
         // One measurement cell per (application, machine group).
         let cell_times: Vec<f64> =
             hetgraph_core::par::scheduled(apps.len() * n_groups, host_threads, |k| {
                 let (ai, gi) = (k / n_groups, k % n_groups);
                 let rep = cluster.machine(group_list[gi].1[0]);
-                if !recorder.enabled() {
+                if !recorder.enabled() && !cell_wall.is_live() {
                     return profiling_set_time(rep, &apps[ai], &graphs);
                 }
-                let mut buf = TraceBuffer::new(recorder);
-                let t0 = buf.now_us();
-                let time = profiling_set_time(rep, &apps[ai], &graphs);
-                let t1 = buf.now_us();
-                buf.push(TraceEvent::wall_span(
-                    format!("ccr/{}/{}", apps[ai].name(), group_list[gi].0),
-                    "profile",
-                    gi as u32,
-                    t0,
-                    t1 - t0,
-                ));
-                buf.push(TraceEvent::wall_gauge(
-                    format!("proxy_set_time_s/{}", apps[ai].name()),
-                    gi as u32,
-                    t1,
-                    time,
-                ));
+                let wall_t0 = cell_wall.is_live().then(std::time::Instant::now);
+                let time = if !recorder.enabled() {
+                    profiling_set_time(rep, &apps[ai], &graphs)
+                } else {
+                    let mut buf = TraceBuffer::new(recorder);
+                    let t0 = buf.now_us();
+                    let time = profiling_set_time(rep, &apps[ai], &graphs);
+                    let t1 = buf.now_us();
+                    buf.push(TraceEvent::wall_span(
+                        format!("ccr/{}/{}", apps[ai].name(), group_list[gi].0),
+                        "profile",
+                        gi as u32,
+                        t0,
+                        t1 - t0,
+                    ));
+                    buf.push(TraceEvent::wall_gauge(
+                        format!("proxy_set_time_s/{}", apps[ai].name()),
+                        gi as u32,
+                        t1,
+                        time,
+                    ));
+                    time
+                };
+                if let Some(t0) = wall_t0 {
+                    let mut shard = HistogramShard::new();
+                    shard.observe(t0.elapsed().as_secs_f64());
+                    cell_wall.merge_shard(&shard);
+                }
                 time
             });
         let mut pool = CcrPool::new();
@@ -335,6 +391,47 @@ mod tests {
         assert!(events
             .iter()
             .all(|e| e.domain == hetgraph_core::obs::TimeDomain::Wall));
+    }
+
+    #[test]
+    fn profile_instrumented_matches_and_aggregates() {
+        use hetgraph_core::metrics::MetricsRegistry;
+        use hetgraph_core::obs::NOOP;
+        let cluster = Cluster::case2();
+        let proxies = ProxySet::standard(6400);
+        let apps = standard_apps();
+        let plain = CcrPool::profile_with_threads(&cluster, &proxies, &apps, 2);
+        let m = MetricsRegistry::new();
+        let inst = CcrPool::profile_instrumented(&cluster, &proxies, &apps, 2, &NOOP, &m);
+        assert_eq!(plain, inst, "metrics must not perturb the pool");
+        let snap = m.snapshot();
+        // Case 2 has two machine groups -> apps × 2 measurement cells,
+        // each observed once into the wall histogram.
+        let cells = (apps.len() * 2) as u64;
+        assert_eq!(
+            snap.counter_value("profile/measurement_cells_total"),
+            Some(cells)
+        );
+        assert_eq!(
+            snap.counter_value("profile/proxy_graphs_total"),
+            Some(proxies.proxies().len() as u64)
+        );
+        assert_eq!(
+            snap.histogram("profile/cell_wall_s").unwrap().count(),
+            cells
+        );
+        assert_eq!(
+            snap.histogram("profile/proxy_generation_wall_s")
+                .unwrap()
+                .count(),
+            1
+        );
+        // The deterministic counters are sim-domain; the timings are not.
+        let sim = m.snapshot_sim();
+        assert!(sim
+            .counter_value("profile/measurement_cells_total")
+            .is_some());
+        assert!(sim.histograms.is_empty());
     }
 
     #[test]

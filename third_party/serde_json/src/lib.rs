@@ -338,11 +338,41 @@ fn push_indent(out: &mut String, level: usize) {
     }
 }
 
+/// Format a finite `f64` as its canonical JSON text.
+///
+/// This is the stability contract the metrics snapshots depend on:
+///
+/// - **Shortest round-trip**: the text parses back (via [`from_str`] or
+///   `str::parse::<f64>`) to the *bit-identical* float, including `-0.0`.
+/// - **Variant-stable**: the text always contains a `.` or an exponent, so
+///   [`from_str`] reads it back as `Value::Float` — never `Int`/`UInt` —
+///   and re-printing produces the same bytes. `print → parse → print` is
+///   the identity for every finite `f64` (pinned by the round-trip tests
+///   below and exercised against random bit patterns).
+/// - **Canonical exponent form**: lowercase `e`, no `+` sign, no leading
+///   zeros — the form Rust's shortest-round-trip formatter emits. Inputs
+///   in other accepted spellings (`1E5`, `1e+5`) parse fine and
+///   canonicalize on the first re-print.
+///
+/// Non-finite values have no JSON spelling; [`write_float`] maps them to
+/// `null` (matching real serde_json), which is why snapshot formats in
+/// this workspace encode infinities out-of-band (e.g. histogram overflow
+/// counts) instead of serializing them.
+pub fn format_float(f: f64) -> String {
+    // `{:?}` is Rust's shortest-round-trip formatter: it keeps the
+    // trailing `.0` on integral floats (matching serde_json's ryu output)
+    // and guarantees `text.parse::<f64>() == f` bit-for-bit.
+    let text = format!("{f:?}");
+    debug_assert!(
+        text.parse::<f64>().map(f64::to_bits) == Ok(f.to_bits()),
+        "float text {text:?} must round-trip to the identical bits"
+    );
+    text
+}
+
 fn write_float(out: &mut String, f: f64) {
     if f.is_finite() {
-        // `{:?}` keeps the trailing `.0` on integral floats, matching
-        // serde_json's ryu output for the values this repo emits.
-        out.push_str(&format!("{f:?}"));
+        out.push_str(&format_float(f));
     } else {
         out.push_str("null");
     }
