@@ -15,7 +15,7 @@
 //! serialization that async engines suffer.
 
 use hetgraph_cluster::AppProfile;
-use hetgraph_core::{Graph, VertexId};
+use hetgraph_core::{Graph, GraphMeta, VertexId};
 use hetgraph_engine::{Direction, GasProgram};
 
 /// Greedy coloring vertex program.
@@ -77,7 +77,7 @@ impl GasProgram for Coloring {
         Self::standard_profile()
     }
 
-    fn init(&self, _graph: &Graph, _v: VertexId) -> u32 {
+    fn init(&self, _graph: &GraphMeta<'_>, _v: VertexId) -> u32 {
         0
     }
 
@@ -87,7 +87,7 @@ impl GasProgram for Coloring {
 
     fn gather(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         data: &[u32],
         _v: VertexId,
         u: VertexId,
@@ -102,7 +102,7 @@ impl GasProgram for Coloring {
 
     fn apply(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         v: VertexId,
         old: &u32,
         acc: Option<Vec<(u32, u32)>>,

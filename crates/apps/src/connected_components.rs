@@ -12,7 +12,7 @@
 //! the linear-scaling apps, from the convergence check on the hot path).
 
 use hetgraph_cluster::AppProfile;
-use hetgraph_core::{Graph, VertexId};
+use hetgraph_core::{GraphMeta, VertexId};
 use hetgraph_engine::{Direction, GasProgram};
 
 /// Connected-components vertex program (weak connectivity).
@@ -67,7 +67,7 @@ impl GasProgram for ConnectedComponents {
         Self::standard_profile()
     }
 
-    fn init(&self, _graph: &Graph, v: VertexId) -> u32 {
+    fn init(&self, _graph: &GraphMeta<'_>, v: VertexId) -> u32 {
         v
     }
 
@@ -77,7 +77,7 @@ impl GasProgram for ConnectedComponents {
 
     fn gather(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         data: &[u32],
         _v: VertexId,
         u: VertexId,
@@ -91,7 +91,7 @@ impl GasProgram for ConnectedComponents {
 
     fn apply(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         _v: VertexId,
         old: &u32,
         acc: Option<u32>,
@@ -117,7 +117,7 @@ mod tests {
     use super::*;
     use crate::reference::connected_components_ref;
     use hetgraph_cluster::Cluster;
-    use hetgraph_core::{Edge, EdgeList};
+    use hetgraph_core::{Edge, EdgeList, Graph};
     use hetgraph_engine::SimEngine;
     use hetgraph_partition::{Hybrid, MachineWeights, Partitioner};
 

@@ -7,7 +7,7 @@
 //! the opposite direction of SSSP's growing frontier.
 
 use hetgraph_cluster::AppProfile;
-use hetgraph_core::{Graph, VertexId};
+use hetgraph_core::{GraphMeta, VertexId};
 use hetgraph_engine::{Direction, GasProgram};
 
 /// k-core membership program.
@@ -70,7 +70,7 @@ impl GasProgram for KCore {
         Self::standard_profile()
     }
 
-    fn init(&self, _graph: &Graph, _v: VertexId) -> bool {
+    fn init(&self, _graph: &GraphMeta<'_>, _v: VertexId) -> bool {
         true
     }
 
@@ -80,7 +80,7 @@ impl GasProgram for KCore {
 
     fn gather(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         data: &[bool],
         _v: VertexId,
         u: VertexId,
@@ -94,7 +94,7 @@ impl GasProgram for KCore {
 
     fn apply(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         _v: VertexId,
         old: &bool,
         acc: Option<u32>,
@@ -125,7 +125,7 @@ mod tests {
     use super::*;
     use crate::reference::kcore_ref;
     use hetgraph_cluster::Cluster;
-    use hetgraph_core::{Edge, EdgeList};
+    use hetgraph_core::{Edge, EdgeList, Graph};
     use hetgraph_engine::SimEngine;
     use hetgraph_partition::{Hybrid, MachineWeights, Partitioner};
 

@@ -12,7 +12,7 @@
 //! threads but finite bandwidth.
 
 use hetgraph_cluster::AppProfile;
-use hetgraph_core::{Graph, VertexId};
+use hetgraph_core::{GraphMeta, VertexId};
 use hetgraph_engine::{Direction, GasProgram};
 
 /// Damping factor used by the paper (standard 0.85).
@@ -76,7 +76,7 @@ impl GasProgram for PageRank {
         Self::standard_profile()
     }
 
-    fn init(&self, graph: &Graph, _v: VertexId) -> f64 {
+    fn init(&self, graph: &GraphMeta<'_>, _v: VertexId) -> f64 {
         1.0 / graph.num_vertices().max(1) as f64
     }
 
@@ -84,7 +84,13 @@ impl GasProgram for PageRank {
         Direction::In
     }
 
-    fn gather(&self, graph: &Graph, data: &[f64], _v: VertexId, u: VertexId) -> (Option<f64>, f64) {
+    fn gather(
+        &self,
+        graph: &GraphMeta<'_>,
+        data: &[f64],
+        _v: VertexId,
+        u: VertexId,
+    ) -> (Option<f64>, f64) {
         // u is an in-neighbor, so it has at least the edge (u, v): its
         // out-degree is never zero here. (Under `gather_by_source` the
         // kernel also evaluates sources with out-degree 0; the resulting
@@ -99,7 +105,7 @@ impl GasProgram for PageRank {
         true
     }
 
-    fn source_gather(&self, graph: &Graph, data: &[f64], u: VertexId) -> f64 {
+    fn source_gather(&self, graph: &GraphMeta<'_>, data: &[f64], u: VertexId) -> f64 {
         data[u as usize] / graph.out_degree(u) as f64
     }
 
@@ -109,7 +115,7 @@ impl GasProgram for PageRank {
 
     fn apply(
         &self,
-        graph: &Graph,
+        graph: &GraphMeta<'_>,
         _v: VertexId,
         old: &f64,
         acc: Option<f64>,
@@ -179,7 +185,7 @@ impl GasProgram for PageRank32 {
         Self::standard_profile()
     }
 
-    fn init(&self, graph: &Graph, _v: VertexId) -> f32 {
+    fn init(&self, graph: &GraphMeta<'_>, _v: VertexId) -> f32 {
         1.0 / graph.num_vertices().max(1) as f32
     }
 
@@ -187,7 +193,13 @@ impl GasProgram for PageRank32 {
         Direction::In
     }
 
-    fn gather(&self, graph: &Graph, data: &[f32], _v: VertexId, u: VertexId) -> (Option<f32>, f64) {
+    fn gather(
+        &self,
+        graph: &GraphMeta<'_>,
+        data: &[f32],
+        _v: VertexId,
+        u: VertexId,
+    ) -> (Option<f32>, f64) {
         (Some(data[u as usize] / graph.out_degree(u) as f32), 1.0)
     }
 
@@ -196,7 +208,7 @@ impl GasProgram for PageRank32 {
         true
     }
 
-    fn source_gather(&self, graph: &Graph, data: &[f32], u: VertexId) -> f32 {
+    fn source_gather(&self, graph: &GraphMeta<'_>, data: &[f32], u: VertexId) -> f32 {
         data[u as usize] / graph.out_degree(u) as f32
     }
 
@@ -206,7 +218,7 @@ impl GasProgram for PageRank32 {
 
     fn apply(
         &self,
-        graph: &Graph,
+        graph: &GraphMeta<'_>,
         _v: VertexId,
         old: &f32,
         acc: Option<f32>,
@@ -231,7 +243,7 @@ mod tests {
     use super::*;
     use crate::reference::pagerank_ref;
     use hetgraph_cluster::Cluster;
-    use hetgraph_core::{Edge, EdgeList};
+    use hetgraph_core::{Edge, EdgeList, Graph};
     use hetgraph_engine::SimEngine;
     use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
 

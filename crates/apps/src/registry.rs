@@ -21,7 +21,9 @@ use std::sync::Arc;
 
 use hetgraph_cluster::AppProfile;
 use hetgraph_core::{Graph, VertexId};
-use hetgraph_engine::{DistributedGraph, GasProgram, RebalancePolicy, SimEngine, SimReport};
+use hetgraph_engine::{
+    CompactDistGraph, DistributedGraph, GasProgram, RebalancePolicy, SimEngine, SimReport,
+};
 use hetgraph_partition::PartitionAssignment;
 
 use crate::coloring::Coloring;
@@ -75,6 +77,16 @@ pub trait AppSpec: Send + Sync {
         host_threads: usize,
         policy: &mut dyn RebalancePolicy,
     ) -> SimReport;
+
+    /// Execute on a prebuilt compressed [`CompactDistGraph`]. Reports are
+    /// bitwise identical to [`AppSpec::run_on_with_threads`] over the
+    /// equivalent plain view.
+    fn run_compact_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &CompactDistGraph,
+        host_threads: usize,
+    ) -> SimReport;
 }
 
 /// Run a concrete program on the unified kernel — the one line every
@@ -100,6 +112,18 @@ fn exec_rebalanced<P: GasProgram>(
 ) -> SimReport {
     engine
         .run_rebalanced_on_with_threads(dist, program, host_threads, policy)
+        .report
+}
+
+/// [`exec`] for the compressed-representation entry point.
+fn exec_compact<P: GasProgram>(
+    engine: &SimEngine<'_>,
+    dist: &CompactDistGraph,
+    program: &P,
+    host_threads: usize,
+) -> SimReport {
+    engine
+        .run_compact_on_with_threads(dist, program, host_threads)
         .report
 }
 
@@ -251,6 +275,24 @@ impl AnyApp {
         self.0
             .run_rebalanced_on_with_threads(engine, dist, host_threads, policy)
     }
+
+    /// [`AnyApp::run_on_with_threads`] over a prebuilt compressed
+    /// [`CompactDistGraph`] — the bounded-RSS path, where no plain
+    /// `Graph` or `DistributedGraph` needs to exist. The report is
+    /// bitwise identical to the plain path's at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0`.
+    pub fn run_compact_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &CompactDistGraph,
+        host_threads: usize,
+    ) -> SimReport {
+        assert!(host_threads > 0, "need at least one host thread");
+        self.0
+            .run_compact_on_with_threads(engine, dist, host_threads)
+    }
 }
 
 impl PartialEq for AnyApp {
@@ -314,6 +356,19 @@ impl AppSpec for PageRankSpec {
             policy,
         )
     }
+    fn run_compact_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &CompactDistGraph,
+        host_threads: usize,
+    ) -> SimReport {
+        exec_compact(
+            engine,
+            dist,
+            &PageRank::new(PAGERANK_ITERATIONS),
+            host_threads,
+        )
+    }
 }
 
 struct PageRank32Spec;
@@ -352,6 +407,19 @@ impl AppSpec for PageRank32Spec {
             policy,
         )
     }
+    fn run_compact_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &CompactDistGraph,
+        host_threads: usize,
+    ) -> SimReport {
+        exec_compact(
+            engine,
+            dist,
+            &PageRank32::new(PAGERANK_ITERATIONS),
+            host_threads,
+        )
+    }
 }
 
 struct ColoringSpec;
@@ -378,6 +446,14 @@ impl AppSpec for ColoringSpec {
         policy: &mut dyn RebalancePolicy,
     ) -> SimReport {
         exec_rebalanced(engine, dist, &Coloring::new(), host_threads, policy)
+    }
+    fn run_compact_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &CompactDistGraph,
+        host_threads: usize,
+    ) -> SimReport {
+        exec_compact(engine, dist, &Coloring::new(), host_threads)
     }
 }
 
@@ -411,6 +487,14 @@ impl AppSpec for ConnectedComponentsSpec {
             host_threads,
             policy,
         )
+    }
+    fn run_compact_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &CompactDistGraph,
+        host_threads: usize,
+    ) -> SimReport {
+        exec_compact(engine, dist, &ConnectedComponents::new(), host_threads)
     }
 }
 
@@ -450,6 +534,19 @@ impl AppSpec for TriangleCountSpec {
             policy,
         )
     }
+    fn run_compact_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &CompactDistGraph,
+        host_threads: usize,
+    ) -> SimReport {
+        exec_compact(
+            engine,
+            dist,
+            &TriangleCount::for_compact(dist),
+            host_threads,
+        )
+    }
 }
 
 struct SsspSpec {
@@ -479,6 +576,14 @@ impl AppSpec for SsspSpec {
     ) -> SimReport {
         exec_rebalanced(engine, dist, &Sssp::new(self.source), host_threads, policy)
     }
+    fn run_compact_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &CompactDistGraph,
+        host_threads: usize,
+    ) -> SimReport {
+        exec_compact(engine, dist, &Sssp::new(self.source), host_threads)
+    }
 }
 
 struct KCoreSpec {
@@ -507,6 +612,14 @@ impl AppSpec for KCoreSpec {
         policy: &mut dyn RebalancePolicy,
     ) -> SimReport {
         exec_rebalanced(engine, dist, &KCore::new(self.k), host_threads, policy)
+    }
+    fn run_compact_on_with_threads(
+        &self,
+        engine: &SimEngine<'_>,
+        dist: &CompactDistGraph,
+        host_threads: usize,
+    ) -> SimReport {
+        exec_compact(engine, dist, &KCore::new(self.k), host_threads)
     }
 }
 
@@ -712,6 +825,23 @@ mod tests {
                     "{app}/{threads}: rebalanced run must be thread-invariant"
                 );
                 assert_eq!(p.events().len(), p1.events().len(), "{app}/{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_dispatch_matches_plain_run_exactly() {
+        let g = PowerLawConfig::new(800, 2.1).generate(3);
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(&g, &MachineWeights::uniform(2));
+        let engine = SimEngine::new(&cluster);
+        let dist = DistributedGraph::new(&g, &a).expect("assignment covers graph");
+        let compact = CompactDistGraph::from_dist(&dist);
+        for app in full_apps() {
+            let plain = app.run(&engine, &g, &a);
+            for threads in [1, 2, 4] {
+                let rep = app.run_compact_on_with_threads(&engine, &compact, threads);
+                assert_eq!(rep, plain, "{app}/{threads}");
             }
         }
     }

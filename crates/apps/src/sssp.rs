@@ -8,7 +8,7 @@
 //! bursty per-superstep load.
 
 use hetgraph_cluster::AppProfile;
-use hetgraph_core::{Graph, VertexId};
+use hetgraph_core::{GraphMeta, VertexId};
 use hetgraph_engine::{ActiveInit, Direction, GasProgram};
 
 /// Distance value for unreachable vertices.
@@ -61,7 +61,7 @@ impl GasProgram for Sssp {
         Self::standard_profile()
     }
 
-    fn init(&self, _graph: &Graph, v: VertexId) -> u32 {
+    fn init(&self, _graph: &GraphMeta<'_>, v: VertexId) -> u32 {
         if v == self.source {
             0
         } else {
@@ -75,7 +75,7 @@ impl GasProgram for Sssp {
 
     fn gather(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         data: &[u32],
         _v: VertexId,
         u: VertexId,
@@ -94,7 +94,7 @@ impl GasProgram for Sssp {
 
     fn apply(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         v: VertexId,
         old: &u32,
         acc: Option<u32>,
@@ -111,7 +111,7 @@ impl GasProgram for Sssp {
         Direction::Out
     }
 
-    fn initial_active(&self, _graph: &Graph) -> ActiveInit {
+    fn initial_active(&self, _graph: &GraphMeta<'_>) -> ActiveInit {
         ActiveInit::Seeds(vec![self.source])
     }
 
@@ -125,7 +125,7 @@ mod tests {
     use super::*;
     use crate::reference::sssp_ref;
     use hetgraph_cluster::Cluster;
-    use hetgraph_core::{Edge, EdgeList};
+    use hetgraph_core::{Edge, EdgeList, Graph};
     use hetgraph_engine::SimEngine;
     use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
 

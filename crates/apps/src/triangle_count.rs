@@ -19,8 +19,8 @@
 //! the largest machines — Fig 2's "sharp speedup increase" application.
 
 use hetgraph_cluster::AppProfile;
-use hetgraph_core::{Edge, EdgeList, Graph, VertexId};
-use hetgraph_engine::{Direction, GasProgram};
+use hetgraph_core::{Edge, EdgeList, Graph, GraphMeta, VertexId};
+use hetgraph_engine::{CompactDistGraph, Direction, GasProgram};
 
 /// Triangle-count vertex program, bound to one graph's sorted adjacency.
 #[derive(Debug, Clone)]
@@ -36,6 +36,22 @@ impl TriangleCount {
                 let mut ns: Vec<u32> = graph.out_neighbors(v).to_vec();
                 ns.sort_unstable();
                 ns.into_boxed_slice()
+            })
+            .collect();
+        TriangleCount { sorted_out }
+    }
+
+    /// [`TriangleCount::for_graph`] for a compressed distributed view.
+    /// Compact rows decode in sorted order, so this yields the same
+    /// per-vertex index (and therefore bitwise-identical reports) as
+    /// building from the plain graph.
+    pub fn for_compact(dist: &CompactDistGraph) -> Self {
+        let n = dist.meta().num_vertices();
+        let mut scratch = Vec::new();
+        let sorted_out = (0..n)
+            .map(|v| {
+                let (ns, _) = dist.out_adj_into(v, &mut scratch);
+                ns.to_vec().into_boxed_slice()
             })
             .collect();
         TriangleCount { sorted_out }
@@ -98,7 +114,7 @@ impl GasProgram for TriangleCount {
         Self::standard_profile()
     }
 
-    fn init(&self, graph: &Graph, _v: VertexId) -> u64 {
+    fn init(&self, graph: &GraphMeta<'_>, _v: VertexId) -> u64 {
         assert_eq!(
             graph.num_vertices() as usize,
             self.sorted_out.len(),
@@ -113,7 +129,7 @@ impl GasProgram for TriangleCount {
 
     fn gather(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         _data: &[u64],
         v: VertexId,
         u: VertexId,
@@ -129,7 +145,7 @@ impl GasProgram for TriangleCount {
 
     fn apply(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         _v: VertexId,
         _old: &u64,
         acc: Option<u64>,

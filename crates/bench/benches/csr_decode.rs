@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks: compact-CSR decode throughput.
+//!
+//! Quantifies the cost of delta-varint decode-on-iterate against plain
+//! `Csr` neighbor slices — the per-edge price the bounded-RSS pipeline
+//! pays for its smaller cache footprint — plus how much degree-sorted
+//! renumbering (which shrinks the gaps) buys back.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hetgraph_core::transform::{degree_sort_permutation, relabel};
+use hetgraph_core::{CompactCsr, Graph};
+use hetgraph_gen::RmatConfig;
+
+/// Sum every out-neighbor id once — the minimal gather-shaped traversal.
+fn sum_plain(graph: &Graph) -> u64 {
+    let csr = graph.out_csr();
+    let mut acc = 0u64;
+    for v in 0..graph.num_vertices() {
+        for &u in csr.neighbors(v) {
+            acc += u as u64;
+        }
+    }
+    acc
+}
+
+fn sum_compact_fused(compact: &CompactCsr) -> u64 {
+    let mut acc = 0u64;
+    for v in 0..compact.num_vertices() {
+        compact.for_each_neighbor(v, |u| acc += u as u64);
+    }
+    acc
+}
+
+fn sum_compact_cursor(compact: &CompactCsr) -> u64 {
+    let mut acc = 0u64;
+    for v in 0..compact.num_vertices() {
+        for u in compact.neighbors(v) {
+            acc += u as u64;
+        }
+    }
+    acc
+}
+
+fn bench_csr_decode(c: &mut Criterion) {
+    let graph = RmatConfig::natural(100_000, 800_000).generate(11);
+    let renumbered = relabel(&graph, &degree_sort_permutation(&graph));
+    let compact = CompactCsr::from_csr(graph.out_csr());
+    let compact_renumbered = CompactCsr::from_csr(renumbered.out_csr());
+
+    // The three traversals must visit the same multiset of edges; the
+    // renumbered sum differs (ids are permuted) but the count does not.
+    assert_eq!(sum_plain(&graph), sum_compact_fused(&compact));
+    assert_eq!(sum_compact_fused(&compact), sum_compact_cursor(&compact));
+
+    let mut group = c.benchmark_group("csr_decode");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+
+    group.bench_function("plain_slice", |b| {
+        b.iter(|| black_box(sum_plain(&graph)));
+    });
+    group.bench_function("compact_fused", |b| {
+        b.iter(|| black_box(sum_compact_fused(&compact)));
+    });
+    group.bench_function("compact_cursor", |b| {
+        b.iter(|| black_box(sum_compact_cursor(&compact)));
+    });
+    group.bench_function("compact_fused_renumbered", |b| {
+        b.iter(|| black_box(sum_compact_fused(&compact_renumbered)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_csr_decode);
+criterion_main!(benches);

@@ -27,7 +27,8 @@ use crate::output::{f3, pct, print_table, write_json};
 /// CCR estimation error as a function of proxy graph size.
 pub fn proxy_size(ctx: &ExperimentContext) -> Vec<(u32, f64)> {
     println!("== Ablation: proxy graph size vs CCR error ==\n");
-    let real: Vec<_> = ctx.natural_graphs().into_iter().map(|(_, g)| g).collect();
+    let shared = ctx.natural_graphs_shared();
+    let real: Vec<_> = shared.iter().map(|(_, g)| g.clone()).collect();
     let machines = [
         catalog::c4_2xlarge(),
         catalog::c4_4xlarge(),
@@ -58,7 +59,8 @@ pub fn proxy_size(ctx: &ExperimentContext) -> Vec<(u32, f64)> {
 /// One proxy vs the covering three-α set.
 pub fn proxy_coverage(ctx: &ExperimentContext) -> Vec<(String, f64)> {
     println!("== Ablation: proxy α coverage vs CCR error ==\n");
-    let real: Vec<_> = ctx.natural_graphs().into_iter().map(|(_, g)| g).collect();
+    let shared = ctx.natural_graphs_shared();
+    let real: Vec<_> = shared.iter().map(|(_, g)| g.clone()).collect();
     let machines = [
         catalog::c4_2xlarge(),
         catalog::c4_4xlarge(),
@@ -103,9 +105,9 @@ pub fn partitioner_quality(ctx: &ExperimentContext) -> Vec<(String, String, f64,
     println!("== Ablation: partitioner replication factor & balance (4 machines) ==\n");
     let weights = MachineWeights::uniform(4);
     let mut rows = Vec::new();
-    for (gname, graph) in ctx.natural_graphs() {
+    for (gname, graph) in ctx.natural_graphs_shared().iter() {
         for kind in PartitionerKind::ALL {
-            let a = kind.build().partition(&graph, &weights);
+            let a = kind.build().partition(graph, &weights);
             let m = PartitionMetrics::compute(&a, &weights);
             rows.push((
                 gname.clone(),

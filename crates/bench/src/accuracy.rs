@@ -125,7 +125,8 @@ pub fn fig8(ctx: &ExperimentContext, part: &str) -> Fig8Result {
         other => panic!("fig8 part must be \"a\" or \"b\", got {other:?}"),
     };
     println!("== Fig 8{part}: CCR accuracy, scale 1/{} ==\n", ctx.scale);
-    let real: Vec<Graph> = ctx.natural_graphs().into_iter().map(|(_, g)| g).collect();
+    let shared = ctx.natural_graphs_shared();
+    let real: Vec<Graph> = shared.iter().map(|(_, g)| g.clone()).collect();
     let report = AccuracyReport::evaluate(
         &baseline,
         &machines,

@@ -229,7 +229,7 @@ pub fn fig9(ctx: &ExperimentContext) -> Vec<CaseRow> {
     );
     println!("(prior work sees equal thread counts here -> identical to default)\n");
     let pool = profile_pool(&cluster, ctx);
-    let graphs = ctx.natural_graphs();
+    let graphs = ctx.natural_graphs_shared();
     let rows = run_matrix(
         &cluster,
         &pool,
@@ -243,7 +243,7 @@ pub fn fig9(ctx: &ExperimentContext) -> Vec<CaseRow> {
     for app in ctx.apps() {
         println!("-- {} --", app.name());
         let mut table = Vec::new();
-        for (gname, _) in &graphs {
+        for (gname, _) in graphs.iter() {
             for kind in PartitionerKind::ALL {
                 let d = find(&rows, app.name(), gname, kind.name(), Policy::Default);
                 let c = find(&rows, app.name(), gname, kind.name(), Policy::CcrGuided);
@@ -305,7 +305,7 @@ pub fn fig10(ctx: &ExperimentContext, case: u32) -> Vec<CaseRow> {
     }
     println!();
 
-    let graphs = ctx.natural_graphs();
+    let graphs = ctx.natural_graphs_shared();
     // Aggregate across all five partitioners, as Fig 9 does: single-
     // partitioner numbers at reduced scale are dominated by hub-placement
     // variance (a handful of hub bundles decide which machine hosts the
@@ -417,7 +417,8 @@ pub fn write_traces(ctx: &ExperimentContext) -> Vec<PathBuf> {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| panic!("creating output dir {}: {e}", dir.display()));
     }
-    let (gname, graph) = ctx.natural_graphs().remove(0);
+    let shared = ctx.natural_graphs_shared();
+    let (gname, graph) = &shared[0];
     let kind = PartitionerKind::Hybrid;
     let mut written = Vec::new();
     let mut write = |path: PathBuf, text: &str, what: &str| {
@@ -461,13 +462,13 @@ pub fn write_traces(ctx: &ExperimentContext) -> Vec<PathBuf> {
             let recorder: &dyn Recorder = if tracing { &app_tracer } else { &obs::NOOP };
             let weights = Policy::CcrGuided.weights(&cluster, &pool, app.name());
             let assignment = kind.build().partition_instrumented(
-                &graph,
+                graph,
                 &weights,
                 ctx.threads,
                 recorder,
                 metrics,
             );
-            let dist = DistributedGraph::new_with_threads(&graph, &assignment, ctx.threads)
+            let dist = DistributedGraph::new_with_threads(graph, &assignment, ctx.threads)
                 .expect("assignment must cover the graph");
             let engine = SimEngine::new(&cluster)
                 .with_recorder(recorder)

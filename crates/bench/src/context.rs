@@ -1,10 +1,16 @@
 //! Experiment configuration shared by every harness.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use hetgraph_apps::{AnyApp, AppRegistry};
 use hetgraph_core::Graph;
 use hetgraph_gen::{NaturalGraph, ProxySet};
+
+/// The named natural-graph stand-ins, shared process-wide by
+/// [`ExperimentContext::natural_graphs_shared`].
+pub type SharedGraphs = Arc<Vec<(String, Graph)>>;
 
 /// Configuration for one experiment run.
 #[derive(Debug, Clone)]
@@ -205,11 +211,41 @@ impl ExperimentContext {
 
     /// The four natural-graph stand-ins at this context's scale, in Table
     /// II order, with their display names.
+    ///
+    /// Freshly generated on every call; sweeps that revisit the same
+    /// scale should use [`ExperimentContext::natural_graphs_shared`] so
+    /// the R-MAT generation cost is paid once per scale per process.
     pub fn natural_graphs(&self) -> Vec<(String, Graph)> {
         NaturalGraph::ALL
             .iter()
             .map(|g| (g.name().to_string(), g.generate(self.scale)))
             .collect()
+    }
+
+    /// [`ExperimentContext::natural_graphs`] memoized process-wide by
+    /// scale: the first call at a given scale generates the four
+    /// stand-ins, every later call (from any case cluster, figure, or
+    /// trace pass) gets the same `Arc`. Generation is deterministic
+    /// (fixed per-spec seeds), so sharing cannot change any result — it
+    /// only removes the repeated O(E) generation work `exp_all` used to
+    /// pay once per figure.
+    pub fn natural_graphs_shared(&self) -> SharedGraphs {
+        static CACHE: OnceLock<Mutex<HashMap<u32, SharedGraphs>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().unwrap().get(&self.scale) {
+            return Arc::clone(hit);
+        }
+        // Generate outside the lock: concurrent first callers may race to
+        // build the same set, but insertion keeps the first winner so all
+        // callers still converge on one allocation.
+        let built = Arc::new(self.natural_graphs());
+        Arc::clone(
+            cache
+                .lock()
+                .unwrap()
+                .entry(self.scale)
+                .or_insert_with(|| built),
+        )
     }
 
     /// The standard proxy set at this context's scale.
@@ -247,6 +283,23 @@ mod tests {
             (amazon_density - 8.4).abs() < 1.0,
             "density {amazon_density}"
         );
+    }
+
+    #[test]
+    fn natural_graphs_shared_memoizes_by_scale() {
+        let ctx = ExperimentContext::at_scale(1024);
+        let a = ctx.natural_graphs_shared();
+        let b = ctx.natural_graphs_shared();
+        assert!(Arc::ptr_eq(&a, &b), "same scale must share one allocation");
+        let other = ExperimentContext::at_scale(2048).natural_graphs_shared();
+        assert!(!Arc::ptr_eq(&a, &other), "scales must not alias");
+        // The shared set is exactly what a fresh generation produces.
+        let fresh = ctx.natural_graphs();
+        assert_eq!(a.len(), fresh.len());
+        for ((sn, sg), (fn_, fg)) in a.iter().zip(&fresh) {
+            assert_eq!(sn, fn_);
+            assert_eq!(sg.edges(), fg.edges());
+        }
     }
 
     #[test]

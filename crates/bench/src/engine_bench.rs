@@ -117,12 +117,13 @@ pub fn seed_kernel<P: GasProgram>(
     let n = graph.num_vertices() as usize;
     let profile = program.profile();
     let shape = GraphShape::of(graph);
+    let meta = graph.meta();
     let machines = cluster.machines();
     let network = NetworkModel::default();
     let energy_model = EnergyModel::new(machines.to_vec());
 
-    let mut data: Vec<P::VertexData> = (0..n as u32).map(|v| program.init(graph, v)).collect();
-    let mut active = match program.initial_active(graph) {
+    let mut data: Vec<P::VertexData> = (0..n as u32).map(|v| program.init(&meta, v)).collect();
+    let mut active = match program.initial_active(&meta) {
         ActiveInit::All => BitSet::full(n),
         ActiveInit::Seeds(seeds) => {
             let mut s = BitSet::new(n);
@@ -176,7 +177,7 @@ pub fn seed_kernel<P: GasProgram>(
             for &v in &active_list[lo..hi] {
                 let mut acc: Option<P::Accum> = None;
                 seed_for_each_neighbor(dist, v, program.gather_direction(), |u, m| {
-                    let (contrib, w) = program.gather(graph, &data, v, u);
+                    let (contrib, w) = program.gather(&meta, &data, v, u);
                     out.work[m].edge_units += w;
                     if let Some(c) = contrib {
                         acc = Some(match acc.take() {
@@ -187,7 +188,7 @@ pub fn seed_kernel<P: GasProgram>(
                 });
                 let master = assignment.master(v).index();
                 out.work[master].vertex_units += 1.0;
-                let (nd, did_change) = program.apply(graph, v, &data[v as usize], acc, step);
+                let (nd, did_change) = program.apply(&meta, v, &data[v as usize], acc, step);
                 out.changes.push((v, nd, did_change));
                 let mask = assignment.replica_mask(v);
                 let replicas = mask.count_ones();
@@ -230,7 +231,7 @@ pub fn seed_kernel<P: GasProgram>(
             for &v in &changed {
                 seed_for_each_neighbor(dist, v, program.scatter_direction(), |u, m| {
                     step_work[m].edge_units += 1.0;
-                    if program.scatter_activates(graph, &data, v, u, true) {
+                    if program.scatter_activates(&meta, &data, v, u, true) {
                         next_active.insert(u as usize);
                     }
                 });

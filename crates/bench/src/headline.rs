@@ -36,8 +36,9 @@ pub fn headline(ctx: &ExperimentContext) -> Headline {
         ctx.scale
     );
     let mut all_rows: Vec<CaseRow> = Vec::new();
-    // The graph set is cluster-independent: generate it once, not per case.
-    let graphs = ctx.natural_graphs();
+    // The graph set is cluster-independent: the process-wide memo shares
+    // one generation across both cases (and with the figure sweeps).
+    let graphs = ctx.natural_graphs_shared();
     for cluster in [Cluster::case2(), Cluster::case3()] {
         let pool = profile_pool(&cluster, ctx);
         let mut rows = run_matrix(

@@ -24,6 +24,7 @@
 //! | [`partition_bench::partition`] | partition perf baseline (`BENCH_partition.json`) |
 //! | [`engine_bench::engine`] | superstep-kernel perf baseline (`BENCH_engine.json`) |
 //! | [`rebalance_bench::rebalance`] | static-vs-migration baseline (`BENCH_rebalance.json`) |
+//! | [`scale_bench::scale`] | bounded-RSS scale run (`BENCH_scale.json`) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,6 +40,7 @@ pub mod output;
 pub mod partition_bench;
 pub mod policy;
 pub mod rebalance_bench;
+pub mod scale_bench;
 pub mod tables;
 
 pub use context::ExperimentContext;

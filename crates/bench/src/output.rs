@@ -135,7 +135,10 @@ fn git_sha() -> Option<String> {
 
 /// Peak resident set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), or `None` where procfs is unavailable.
-fn peak_rss_bytes() -> Option<u64> {
+///
+/// Public so the scale benchmark can snapshot the high-water mark after
+/// each representation's pipeline, not just at manifest time.
+pub fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;

@@ -30,6 +30,17 @@ impl Flags {
     /// Parse `args` (everything after the subcommand). `allowed` is the
     /// set of recognized flag names (without `--`).
     pub fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
+        Self::parse_with_switches(args, allowed, &[])
+    }
+
+    /// Parse with an additional set of boolean `switches` that take no
+    /// value (`--compact` rather than `--compact true`). A present switch
+    /// reads back as `"true"` via [`Flags::is_set`].
+    pub fn parse_with_switches(
+        args: &[String],
+        allowed: &[&str],
+        switches: &[&str],
+    ) -> Result<Flags, CliError> {
         let mut values = BTreeMap::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -38,11 +49,18 @@ impl Flags {
                     "unexpected argument {a:?} (flags are --key value)"
                 )));
             };
+            if switches.contains(&key) {
+                if values.insert(key.to_string(), "true".to_string()).is_some() {
+                    return Err(CliError(format!("flag --{key} given twice")));
+                }
+                continue;
+            }
             if !allowed.contains(&key) {
                 return Err(CliError(format!(
                     "unknown flag --{key}; expected one of: {}",
                     allowed
                         .iter()
+                        .chain(switches.iter())
                         .map(|f| format!("--{f}"))
                         .collect::<Vec<_>>()
                         .join(", ")
@@ -56,6 +74,11 @@ impl Flags {
             }
         }
         Ok(Flags { values })
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn is_set(&self, key: &str) -> bool {
+        self.get(key).is_some()
     }
 
     /// Raw string value.
@@ -169,6 +192,32 @@ mod tests {
             .unwrap_err()
             .0
             .contains("missing required"));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let f = Flags::parse_with_switches(
+            &argv(&["--compact", "--input", "g.hgb"]),
+            &["input"],
+            &["compact"],
+        )
+        .unwrap();
+        assert!(f.is_set("compact"));
+        assert_eq!(f.get("input"), Some("g.hgb"));
+        let f = Flags::parse_with_switches(&argv(&["--input", "g.hgb"]), &["input"], &["compact"])
+            .unwrap();
+        assert!(!f.is_set("compact"));
+        // A switch given twice is still a duplicate, and unknown-flag
+        // errors list the switches too.
+        assert!(
+            Flags::parse_with_switches(&argv(&["--compact", "--compact"]), &[], &["compact"])
+                .unwrap_err()
+                .0
+                .contains("twice")
+        );
+        let err = Flags::parse_with_switches(&argv(&["--bogus", "1"]), &["input"], &["compact"])
+            .unwrap_err();
+        assert!(err.0.contains("--compact"));
     }
 
     #[test]

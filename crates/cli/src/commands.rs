@@ -8,8 +8,8 @@ use hetgraph_cluster::Cluster;
 use hetgraph_core::degree::DegreeHistogram;
 use hetgraph_core::{io, Graph};
 use hetgraph_gen::{
-    fit_alpha, uniform, BarabasiAlbertConfig, NaturalGraph, PowerLawConfig, ProxySet, RmatConfig,
-    SmallWorldConfig,
+    fit_alpha, BarabasiAlbertConfig, GnmConfig, NaturalGraph, PowerLawConfig, ProxySet, RmatConfig,
+    SmallWorldConfig, StreamingGenerator,
 };
 use hetgraph_partition::{MachineWeights, PartitionMetrics, PartitionerKind};
 use hetgraph_profile::{CcrPool, PriorWorkEstimator};
@@ -112,7 +112,15 @@ fn parse_partitioner(name: &str) -> Result<PartitionerKind, CliError> {
         })
 }
 
-/// `hetgraph generate` — write a synthetic graph to a file.
+/// `hetgraph generate` — write a synthetic graph to a file and/or a shard
+/// directory.
+///
+/// With `--shards DIR` the streaming families (powerlaw, rmat, gnm,
+/// natural) emit fixed-size binary shards with bounded buffering: peak
+/// memory is one shard's edge buffer, never the whole edge set, which is
+/// how 100M-edge inputs are produced on laptop-class RAM. The growth
+/// generators (ba, smallworld) inherently keep their full state and stay
+/// materialize-only.
 pub fn generate(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
@@ -125,24 +133,92 @@ pub fn generate(args: &[String]) -> Result<(), CliError> {
             "beta",
             "seed",
             "out",
+            "shards",
             "natural",
             "scale",
         ],
     )?;
     let seed: u64 = flags.get_or("seed", 42)?;
-    let out = flags.require("out")?;
+    let out = flags.get("out");
+    let shards = flags.get("shards");
+    if out.is_none() && shards.is_none() {
+        return Err(CliError(
+            "generate needs a sink: --out FILE and/or --shards DIR".into(),
+        ));
+    }
     let family = flags.get("family").unwrap_or("powerlaw");
-    let graph = match family {
+
+    // Streaming families build one generator and drive every sink from
+    // it; `generate_graph` and the shard writer share the same edge walk,
+    // so both sinks see the identical edge sequence.
+    let streaming: Option<(Box<dyn StreamingGenerator>, u64)> = match family {
         "powerlaw" => {
             let n: u32 = flags.require_parsed("vertices")?;
             let alpha: f64 = flags.get_or("alpha", 2.1)?;
-            PowerLawConfig::new(n, alpha).generate(seed)
+            Some((Box::new(PowerLawConfig::new(n, alpha)), seed))
         }
         "rmat" => {
             let n: u32 = flags.require_parsed("vertices")?;
             let m: usize = flags.require_parsed("edges")?;
-            RmatConfig::natural(n, m).generate(seed)
+            Some((Box::new(RmatConfig::natural(n, m)), seed))
         }
+        "gnm" => {
+            let n: u32 = flags.require_parsed("vertices")?;
+            let m: usize = flags.require_parsed("edges")?;
+            Some((Box::new(GnmConfig::new(n, m)), seed))
+        }
+        "natural" => {
+            let which = flags.require("natural")?;
+            let scale: u32 = flags.get_or("scale", 64u32)?;
+            if scale == 0 {
+                return Err(CliError("--scale must be positive".into()));
+            }
+            let spec = NaturalGraph::ALL
+                .into_iter()
+                .find(|g| g.name() == which)
+                .ok_or_else(|| CliError(format!("unknown natural graph {which:?}")))?
+                .spec();
+            // Stand-ins carry their own fixed seed — part of the
+            // reproducible experiment definition.
+            Some((Box::new(spec.scaled_config(scale)), spec.seed))
+        }
+        _ => None,
+    };
+
+    if let Some((gen, seed)) = streaming {
+        if let Some(dir) = shards {
+            let set = gen
+                .generate_shards(seed, Path::new(dir))
+                .map_err(|e| CliError(format!("cannot write shards to {dir}: {e}")))?;
+            println!(
+                "wrote {}: {} shard(s), {} vertices, {} edges",
+                dir,
+                set.num_shards(),
+                set.num_vertices(),
+                set.num_edges()
+            );
+        }
+        if let Some(path) = out {
+            let graph = gen.generate_graph(seed);
+            save_graph(path, &graph)?;
+            println!(
+                "wrote {}: {} vertices, {} edges",
+                path,
+                graph.num_vertices(),
+                graph.num_edges()
+            );
+        }
+        return Ok(());
+    }
+
+    if shards.is_some() {
+        return Err(CliError(format!(
+            "family {family:?} cannot stream to shards (growth generators retain \
+             their full state); use --out, or a streaming family (powerlaw, rmat, \
+             gnm, natural)"
+        )));
+    }
+    let graph = match family {
         "ba" => {
             let n: u32 = flags.require_parsed("vertices")?;
             let m: u32 = flags.get_or("edges", 3u32)?;
@@ -154,33 +230,17 @@ pub fn generate(args: &[String]) -> Result<(), CliError> {
             let beta: f64 = flags.get_or("beta", 0.1)?;
             SmallWorldConfig::new(n, k, beta).generate(seed)
         }
-        "gnm" => {
-            let n: u32 = flags.require_parsed("vertices")?;
-            let m: usize = flags.require_parsed("edges")?;
-            uniform::gnm(n, m, seed)
-        }
-        "natural" => {
-            let which = flags.require("natural")?;
-            let scale: u32 = flags.get_or("scale", 64u32)?;
-            if scale == 0 {
-                return Err(CliError("--scale must be positive".into()));
-            }
-            let spec = NaturalGraph::ALL
-                .into_iter()
-                .find(|g| g.name() == which)
-                .ok_or_else(|| CliError(format!("unknown natural graph {which:?}")))?;
-            spec.generate(scale)
-        }
         other => {
             return Err(CliError(format!(
                 "unknown family {other:?}; expected powerlaw, rmat, ba, smallworld, gnm, or natural"
             )))
         }
     };
-    save_graph(out, &graph)?;
+    let path = out.expect("checked above");
+    save_graph(path, &graph)?;
     println!(
         "wrote {}: {} vertices, {} edges",
-        out,
+        path,
         graph.num_vertices(),
         graph.num_edges()
     );
@@ -332,8 +392,17 @@ pub fn profile(args: &[String]) -> Result<(), CliError> {
 /// *sim-domain* metrics only (byte-identical at any `--threads` value)
 /// unless the filename contains `.full.`, which opts into the wall-clock
 /// series too.
+///
+/// With `--compact` the kernel runs on the delta-varint [`hetgraph_engine::
+/// CompactDistGraph`] instead of the plain distributed structure — same
+/// `SimReport`, byte for byte, at a fraction of the resident bytes per
+/// edge. `--input` may then also be a *shard directory* written by
+/// `generate --shards`: the partitioner consumes the shard stream directly
+/// (random, oblivious, or grid — the single-pass streaming algorithms) and
+/// the compact structure is built by replaying shards, so the full edge
+/// set is never resident.
 pub fn simulate(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(
+    let flags = Flags::parse_with_switches(
         args,
         &[
             "input",
@@ -347,8 +416,10 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             "metrics-out",
             "rebalance",
         ],
+        &["compact"],
     )?;
-    let g = load_graph(flags.require("input")?)?;
+    let input = flags.require("input")?;
+    let compact = flags.is_set("compact");
     let cluster = parse_cluster(flags.get("cluster").unwrap_or("case2"))?;
     let app = parse_app(flags.get("app").unwrap_or("pagerank"))?;
     let kind = parse_partitioner(flags.get("algorithm").unwrap_or("hybrid"))?;
@@ -387,37 +458,92 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             )))
         }
     };
-    let assignment = kind
-        .build()
-        .partition_instrumented(&g, &weights, threads, recorder, metrics);
     let engine = hetgraph_engine::SimEngine::new(&cluster)
         .with_recorder(recorder)
         .with_metrics(metrics);
-    let (report, migrations) = match flags.get("rebalance") {
-        None | Some("off") => (
-            app.run_with_threads(&engine, &g, &assignment, threads),
-            None,
-        ),
-        Some("greedy") => {
-            let mut policy = hetgraph_engine::GreedyRebalance::new();
-            let report =
-                app.run_rebalanced_with_threads(&engine, &g, &assignment, threads, &mut policy);
-            let moved: usize = policy.events().iter().map(|e| e.edges_moved).sum();
-            let cost: f64 = policy.events().iter().map(|e| e.cost_s).sum();
-            (
-                report,
-                Some(format!(
-                    "rebalance: greedy, {} batch(es), {} edge(s) migrated, {:.6}s charged",
-                    policy.events().len(),
-                    moved,
-                    cost
-                )),
-            )
+    let (report, migrations) = if compact {
+        if matches!(flags.get("rebalance"), Some(r) if r != "off") {
+            return Err(CliError(
+                "--compact does not support --rebalance (the compressed structure \
+                 is immutable once built)"
+                    .into(),
+            ));
         }
-        Some(other) => {
-            return Err(CliError(format!(
-                "unknown rebalance policy {other:?}; expected greedy or off"
-            )))
+        let input_path = Path::new(input);
+        let report = if input_path.is_dir() {
+            // Shard-fed bounded-RSS pipeline: partition the stream, then
+            // build the compact structure by replaying shards — the full
+            // edge set is never resident.
+            let set = hetgraph_core::shard::ShardSet::open(input_path)
+                .map_err(|e| CliError(format!("cannot open shard directory {input}: {e}")))?;
+            let streamer = kind.build_stream().ok_or_else(|| {
+                CliError(format!(
+                    "--algorithm {} cannot consume a shard stream; use random, \
+                     oblivious, or grid",
+                    kind.name()
+                ))
+            })?;
+            let assignment =
+                streamer.partition_stream(set.num_vertices(), &weights, &mut set.stream());
+            let dist = hetgraph_engine::CompactDistGraph::from_edge_stream(
+                set.num_vertices(),
+                &assignment,
+                || set.stream(),
+            )
+            .map_err(|e| CliError(format!("cannot build compact graph: {e}")))?;
+            app.run_compact_on_with_threads(&engine, &dist, threads)
+        } else {
+            let g = load_graph(input)?;
+            let assignment = kind
+                .build()
+                .partition_instrumented(&g, &weights, threads, recorder, metrics);
+            let dist = hetgraph_engine::CompactDistGraph::from_edge_stream(
+                g.num_vertices(),
+                &assignment,
+                || g.edges().iter().copied(),
+            )
+            .map_err(|e| CliError(format!("cannot build compact graph: {e}")))?;
+            app.run_compact_on_with_threads(&engine, &dist, threads)
+        };
+        (report, None)
+    } else {
+        if Path::new(input).is_dir() {
+            return Err(CliError(
+                "shard-directory input requires --compact (the plain path \
+                 materializes the whole graph)"
+                    .into(),
+            ));
+        }
+        let g = load_graph(input)?;
+        let assignment = kind
+            .build()
+            .partition_instrumented(&g, &weights, threads, recorder, metrics);
+        match flags.get("rebalance") {
+            None | Some("off") => (
+                app.run_with_threads(&engine, &g, &assignment, threads),
+                None,
+            ),
+            Some("greedy") => {
+                let mut policy = hetgraph_engine::GreedyRebalance::new();
+                let report =
+                    app.run_rebalanced_with_threads(&engine, &g, &assignment, threads, &mut policy);
+                let moved: usize = policy.events().iter().map(|e| e.edges_moved).sum();
+                let cost: f64 = policy.events().iter().map(|e| e.cost_s).sum();
+                (
+                    report,
+                    Some(format!(
+                        "rebalance: greedy, {} batch(es), {} edge(s) migrated, {:.6}s charged",
+                        policy.events().len(),
+                        moved,
+                        cost
+                    )),
+                )
+            }
+            Some(other) => {
+                return Err(CliError(format!(
+                    "unknown rebalance policy {other:?}; expected greedy or off"
+                )))
+            }
         }
     };
     println!("{report}");
@@ -952,6 +1078,119 @@ mod tests {
             "3200",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn generate_shards_then_simulate_compact_matches_plain() {
+        let file = tmp("shards_plain.hgb");
+        let dir = tmp("shards_dir");
+        std::fs::remove_dir_all(&dir).ok();
+        // One invocation, both sinks: the file and the shard directory
+        // hold the same edge sequence.
+        generate(&argv(&[
+            "--family",
+            "powerlaw",
+            "--vertices",
+            "900",
+            "--seed",
+            "5",
+            "--out",
+            &file,
+            "--shards",
+            &dir,
+        ]))
+        .unwrap();
+        let set = hetgraph_core::shard::ShardSet::open(Path::new(&dir)).unwrap();
+        let g = load_graph(&file).unwrap();
+        assert_eq!(set.num_edges() as usize, g.num_edges());
+        assert_eq!(set.stream().collect::<Vec<_>>(), g.edges());
+        // Plain file + --compact runs end to end...
+        simulate(&argv(&[
+            "--input",
+            &file,
+            "--app",
+            "pagerank",
+            "--algorithm",
+            "random",
+            "--policy",
+            "default",
+            "--compact",
+        ]))
+        .unwrap();
+        // ...and so does the fully shard-fed pipeline.
+        simulate(&argv(&[
+            "--input",
+            &dir,
+            "--app",
+            "pagerank",
+            "--algorithm",
+            "oblivious",
+            "--policy",
+            "default",
+            "--compact",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_flag_errors_are_helpful() {
+        // Growth families cannot stream.
+        let err = generate(&argv(&[
+            "--family",
+            "ba",
+            "--vertices",
+            "100",
+            "--shards",
+            &tmp("ba_shards"),
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("cannot stream"), "{err:?}");
+        // A sink is required.
+        let err = generate(&argv(&["--family", "powerlaw", "--vertices", "10"])).unwrap_err();
+        assert!(err.0.contains("--out"), "{err:?}");
+        // Shard input without --compact, and with a non-streaming algorithm.
+        let dir = tmp("err_shards");
+        std::fs::remove_dir_all(&dir).ok();
+        generate(&argv(&[
+            "--family",
+            "gnm",
+            "--vertices",
+            "50",
+            "--edges",
+            "200",
+            "--shards",
+            &dir,
+        ]))
+        .unwrap();
+        let err = simulate(&argv(&["--input", &dir, "--policy", "default"])).unwrap_err();
+        assert!(err.0.contains("--compact"), "{err:?}");
+        let err = simulate(&argv(&[
+            "--input",
+            &dir,
+            "--policy",
+            "default",
+            "--algorithm",
+            "hybrid",
+            "--compact",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("shard stream"), "{err:?}");
+        // Compact refuses mid-run migration.
+        let err = simulate(&argv(&[
+            "--input",
+            &dir,
+            "--policy",
+            "default",
+            "--algorithm",
+            "random",
+            "--compact",
+            "--rebalance",
+            "greedy",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("rebalance"), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! `hetgraph` — command-line tools for the hetgraph workspace.
 //!
 //! ```text
-//! hetgraph generate  --family powerlaw|rmat|ba|smallworld|gnm|natural ... --out FILE
+//! hetgraph generate  --family powerlaw|rmat|ba|smallworld|gnm|natural ... --out FILE | --shards DIR
 //! hetgraph alpha     --input FILE | --vertices N --edges M
 //! hetgraph stats     --input FILE
 //! hetgraph partition --input FILE --machines K [--algorithm NAME] [--weights a,b,...]
 //! hetgraph profile   [--cluster case1|case2|case3] [--scale N] [--apps LIST]
-//! hetgraph simulate  --input FILE [--cluster C] [--app A] [--algorithm P] [--policy default|prior|ccr] [--rebalance greedy|off] [--trace-out FILE] [--metrics-out FILE]
+//! hetgraph simulate  --input FILE|SHARD_DIR [--compact] [--cluster C] [--app A] [--algorithm P] [--policy default|prior|ccr] [--rebalance greedy|off] [--trace-out FILE] [--metrics-out FILE]
 //! hetgraph report    --trace FILE.jsonl [--metrics FILE.json] [--top K]
 //! hetgraph submit    --input FILE [--cluster C] [--app A] [--algorithm P] [--policy ...] [--threads N]
 //! ```
@@ -21,12 +21,14 @@ const USAGE: &str = "\
 hetgraph <command> [--flag value ...]
 
 commands:
-  generate   write a synthetic graph to a file
-             --family powerlaw|rmat|ba|smallworld|gnm|natural  --out FILE
+  generate   write a synthetic graph to a file and/or a shard directory
+             --family powerlaw|rmat|ba|smallworld|gnm|natural  --out FILE | --shards DIR
              powerlaw: --vertices N [--alpha A]      rmat/gnm: --vertices N --edges M
              ba: --vertices N [--edges M]            smallworld: --vertices N [--neighbors K] [--beta B]
              natural: --natural amazon|citation|social_network|wiki [--scale S]
              common: [--seed S]
+             --shards DIR streams fixed-size binary shards with bounded
+             buffering (powerlaw, rmat, gnm, natural only)
   alpha      fit the power-law exponent (paper Eq. 7)
              --input FILE | --vertices N --edges M
   stats      degree statistics of a graph file
@@ -37,8 +39,12 @@ commands:
              [--cluster case1|case2|case3] [--scale N] [--threads N]
              [--apps LIST|all]
   simulate   run one application on a simulated heterogeneous cluster
-             --input FILE [--cluster C] [--app A] [--algorithm P]
+             --input FILE|SHARD_DIR [--cluster C] [--app A] [--algorithm P]
              [--policy default|prior|ccr] [--scale N] [--threads N]
+             [--compact]  run the kernel on the delta-varint compressed
+             structure (byte-identical SimReport, lower resident bytes);
+             a shard-directory --input requires --compact and a streaming
+             --algorithm (random, oblivious, grid)
              [--rebalance greedy|off]  migrate edges between supersteps
              when a machine straggles (off by default; reports are
              byte-identical to no flag when off)

@@ -31,7 +31,7 @@
 //! for physical silicon.
 
 use crate::machine::MachineSpec;
-use hetgraph_core::Graph;
+use hetgraph_core::{Graph, GraphMeta};
 
 /// The shape features of a graph that the timing model reads.
 ///
@@ -64,6 +64,24 @@ impl GraphShape {
         let d_max = graph.vertices().map(|v| graph.degree(v)).max().unwrap_or(0);
         GraphShape {
             avg_degree: graph.avg_degree(),
+            hub_fraction: d_max as f64 / (2.0 * e as f64),
+        }
+    }
+
+    /// Measure shape from a [`GraphMeta`] view — bit-identical to
+    /// [`GraphShape::of`] on the graph the meta was taken from, so cost
+    /// models see the same inputs regardless of the backing representation.
+    pub fn of_meta(meta: &GraphMeta<'_>) -> Self {
+        let e = meta.num_edges();
+        if e == 0 {
+            return GraphShape {
+                avg_degree: 0.0,
+                hub_fraction: 0.0,
+            };
+        }
+        let d_max = meta.max_total_degree();
+        GraphShape {
+            avg_degree: meta.avg_degree(),
             hub_fraction: d_max as f64 / (2.0 * e as f64),
         }
     }

@@ -91,6 +91,13 @@ impl Csr {
         &self.offsets
     }
 
+    /// Resident footprint in bytes of the offsets and targets arrays
+    /// (the compact representation's comparison baseline).
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+    }
+
     /// The raw concatenated targets array.
     #[inline]
     pub fn targets(&self) -> &[VertexId] {

@@ -91,6 +91,28 @@ impl Graph {
         &self.in_csr
     }
 
+    /// The counts-and-degrees view of this graph that vertex programs
+    /// consume (see [`crate::meta::GraphMeta`]). Borrows the CSR offsets;
+    /// cheap to construct and copy.
+    pub fn meta(&self) -> crate::GraphMeta<'_> {
+        crate::GraphMeta::from_offsets(
+            self.num_vertices,
+            self.edges.len(),
+            self.out_csr.offsets(),
+            self.in_csr.offsets(),
+        )
+    }
+
+    /// Resident footprint in bytes of every O(V)+O(E) array this graph
+    /// keeps alive: the raw edge list plus both CSR directions. This is
+    /// what the compressed [`crate::compact::CompactCsr`] representation
+    /// competes against in the scale benchmark's bytes-per-edge ledger.
+    pub fn resident_bytes(&self) -> usize {
+        self.edges.len() * std::mem::size_of::<Edge>()
+            + self.out_csr.resident_bytes()
+            + self.in_csr.resident_bytes()
+    }
+
     /// Average out-degree `|E| / |V|`.
     pub fn avg_degree(&self) -> f64 {
         if self.num_vertices == 0 {

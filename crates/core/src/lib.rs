@@ -37,6 +37,14 @@
 //!   aggregation companion to the `obs` event stream, under the same
 //!   two-time-domain determinism contract.
 //! - [`io`] — text and binary edge-list serialization.
+//! - [`compact`] — delta-varint compressed CSR ([`compact::CompactCsr`])
+//!   with width-adaptive offsets: the bounded-RSS adjacency representation
+//!   for graphs too large for the plain [`Csr`] pair.
+//! - [`meta`] — [`meta::GraphMeta`], the counts-and-degrees view vertex
+//!   programs consume, backed by either representation.
+//! - [`shard`] — fixed-size binary edge shards ([`shard::ShardWriter`] /
+//!   [`shard::ShardSet`]): the streaming ingestion format generators emit
+//!   with bounded buffering and partitioners replay edge-at-a-time.
 //!
 //! The substrate deliberately contains no policy: partitioning, machine
 //! modeling, and execution live in the downstream crates.
@@ -46,6 +54,7 @@
 
 pub mod bitset;
 pub mod builder;
+pub mod compact;
 pub mod csr;
 pub mod degree;
 pub mod edge_list;
@@ -53,23 +62,28 @@ pub mod error;
 pub mod frontier;
 pub mod graph;
 pub mod io;
+pub mod meta;
 pub mod metrics;
 pub mod obs;
 pub mod par;
 pub mod prefetch;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod transform;
 
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
+pub use compact::CompactCsr;
 pub use csr::Csr;
 pub use degree::DegreeStats;
 pub use edge_list::{Edge, EdgeList};
 pub use error::CoreError;
 pub use frontier::FrontierSet;
 pub use graph::Graph;
+pub use meta::GraphMeta;
 pub use rng::{hash64, SplitMix64, Xoshiro256};
+pub use shard::{ShardSet, ShardWriter};
 
 /// Identifier of a vertex. Graphs in this workspace are bounded by `u32`
 /// vertex counts (the paper's largest graph has ~4.8 M vertices), which

@@ -17,7 +17,7 @@ use hetgraph_partition::{AssignmentDelta, PartitionAssignment};
 /// materializes its per-vertex count tables. Each direction costs
 /// `n * p` u32s; past this the footprint outweighs the per-edge
 /// accounting work the tables save.
-const ROW_COUNTS_MAX_MACHINES: usize = 8;
+pub(crate) const ROW_COUNTS_MAX_MACHINES: usize = 8;
 
 /// A graph plus its partition, with per-adjacency-slot edge ownership.
 ///
@@ -128,6 +128,26 @@ impl<'a> DistributedGraph<'a> {
             row_machine_counts(self.graph.in_csr().offsets(), &self.in_slot_machine, p)
         });
         Some((out, inn))
+    }
+
+    /// Resident footprint in bytes of every O(V)+O(E) structure a plain
+    /// simulation keeps alive through this view: the borrowed `Graph`
+    /// (edge list + both CSRs), the assignment's lanes and replication
+    /// arrays, this view's slot-machine lanes, and any lazily built
+    /// count/slot tables that have actually materialized. The compact
+    /// counterpart is [`crate::CompactDistGraph::resident_bytes`]; the
+    /// scale benchmark compares the two per edge.
+    pub fn resident_bytes(&self) -> usize {
+        self.graph.resident_bytes()
+            + self.assignment.resident_bytes()
+            + self.out_slot_machine.len() * 2
+            + self.in_slot_machine.len() * 2
+            + self.out_row_counts.get().map_or(0, |c| c.len() * 4)
+            + self.in_row_counts.get().map_or(0, |c| c.len() * 4)
+            + self
+                .edge_slots
+                .get()
+                .map_or(0, |(o, i)| (o.len() + i.len()) * 4)
     }
 
     /// The underlying graph. Tied to the graph's lifetime, not the

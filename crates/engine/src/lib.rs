@@ -16,6 +16,11 @@
 //! - [`program`] — the [`GasProgram`] trait (Jacobi-style functional GAS).
 //! - [`distributed`] — [`DistributedGraph`]: the partition-aware view that
 //!   knows which machine owns each CSR adjacency slot.
+//! - [`compact_dist`] — [`CompactDistGraph`]: the same view over
+//!   delta-varint compressed adjacency, buildable straight from an edge
+//!   stream; the kernel runs it through
+//!   [`SimEngine::run_compact_on_with_threads`](sim::SimEngine::run_compact_on_with_threads)
+//!   with byte-identical reports.
 //! - [`sim`] — [`SimEngine`]: **the** BSP superstep loop (there is exactly
 //!   one; serial execution is its 1-thread case) with timing, energy, and
 //!   communication accounting.
@@ -31,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analyze;
+pub mod compact_dist;
 pub mod distributed;
 pub mod error;
 pub mod program;
@@ -39,6 +45,7 @@ pub mod report;
 pub mod sim;
 
 pub use analyze::TraceAnalysis;
+pub use compact_dist::CompactDistGraph;
 pub use distributed::DistributedGraph;
 pub use error::EngineError;
 pub use program::{ActiveInit, Direction, GasProgram};

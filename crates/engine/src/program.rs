@@ -7,7 +7,7 @@
 //! harness depends on.
 
 use hetgraph_cluster::AppProfile;
-use hetgraph_core::{Graph, VertexId};
+use hetgraph_core::{GraphMeta, VertexId};
 
 /// Which adjacency direction a phase iterates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -54,7 +54,11 @@ pub trait GasProgram: Sync {
     fn profile(&self) -> AppProfile;
 
     /// Initial vertex data.
-    fn init(&self, graph: &Graph, v: VertexId) -> Self::VertexData;
+    ///
+    /// Programs receive a [`GraphMeta`] — counts and degrees only — rather
+    /// than a concrete graph, so the same program runs unchanged over the
+    /// plain and the compact (delta-varint) representations.
+    fn init(&self, graph: &GraphMeta<'_>, v: VertexId) -> Self::VertexData;
 
     /// Which neighbors the gather phase visits.
     fn gather_direction(&self) -> Direction;
@@ -65,7 +69,7 @@ pub trait GasProgram: Sync {
     /// actual number of intersection probes).
     fn gather(
         &self,
-        graph: &Graph,
+        graph: &GraphMeta<'_>,
         data: &[Self::VertexData],
         v: VertexId,
         u: VertexId,
@@ -102,7 +106,7 @@ pub trait GasProgram: Sync {
     /// `gather_by_source()` returns `true`.
     fn source_gather(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         _data: &[Self::VertexData],
         _u: VertexId,
     ) -> Self::Accum {
@@ -116,7 +120,7 @@ pub trait GasProgram: Sync {
     /// `changed` drives scatter and convergence.
     fn apply(
         &self,
-        graph: &Graph,
+        graph: &GraphMeta<'_>,
         v: VertexId,
         old: &Self::VertexData,
         acc: Option<Self::Accum>,
@@ -130,7 +134,7 @@ pub trait GasProgram: Sync {
     /// Default: activate exactly when `v` changed (message-passing style).
     fn scatter_activates(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         _data: &[Self::VertexData],
         _v: VertexId,
         _u: VertexId,
@@ -140,7 +144,7 @@ pub trait GasProgram: Sync {
     }
 
     /// Initial active set.
-    fn initial_active(&self, _graph: &Graph) -> ActiveInit {
+    fn initial_active(&self, _graph: &GraphMeta<'_>) -> ActiveInit {
         ActiveInit::All
     }
 

@@ -71,9 +71,10 @@ use hetgraph_cluster::{
 use hetgraph_core::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use hetgraph_core::obs::{Recorder, TimeDomain, TraceEvent, NOOP};
 use hetgraph_core::par::{scheduled, Pool};
-use hetgraph_core::{FrontierSet, Graph, VertexId};
+use hetgraph_core::{FrontierSet, Graph, GraphMeta, VertexId};
 use hetgraph_partition::PartitionAssignment;
 
+use crate::compact_dist::CompactDistGraph;
 use crate::distributed::DistributedGraph;
 use crate::program::{ActiveInit, Direction, GasProgram};
 use crate::rebalance::{MigrationEvent, RebalancePolicy, StepSignals};
@@ -101,29 +102,130 @@ pub struct SimEngine<'a> {
     perturbations: Option<&'a PerturbationSchedule>,
 }
 
-/// How the kernel holds the [`DistributedGraph`]: shared for plain runs
+/// How the kernel holds the partitioned graph: shared for plain runs
 /// (exactly the old borrow), exclusive when a rebalance policy may mutate
-/// placement between supersteps. One enum instead of two kernels keeps
-/// the superstep loop in exactly one place (a guard test counts it).
+/// placement between supersteps, or the compressed view for bounded-RSS
+/// runs. One enum instead of three kernels keeps the superstep loop in
+/// exactly one place (a guard test counts it).
 enum DistAccess<'k, 'g> {
     /// Read-only view — placement is frozen for the whole run.
     Shared(&'k DistributedGraph<'g>),
     /// Mutable view — the between-superstep hook may migrate edges.
     Exclusive(&'k mut DistributedGraph<'g>),
+    /// Compressed view — placement frozen, adjacency decoded on iterate.
+    Compact(&'k CompactDistGraph),
 }
 
 impl<'k, 'g> DistAccess<'k, 'g> {
+    /// The plain view, for the rebalance hook — never called on compact
+    /// runs (they take no policy).
     fn view(&self) -> &DistributedGraph<'g> {
         match self {
             DistAccess::Shared(d) => d,
             DistAccess::Exclusive(d) => d,
+            DistAccess::Compact(_) => unreachable!("compact runs have no plain view"),
         }
     }
 
     fn exclusive(&mut self) -> Option<&mut DistributedGraph<'g>> {
         match self {
-            DistAccess::Shared(_) => None,
+            DistAccess::Shared(_) | DistAccess::Compact(_) => None,
             DistAccess::Exclusive(d) => Some(d),
+        }
+    }
+
+    /// The counts-and-degrees view programs consume. Not tied to the
+    /// `&self` borrow (the underlying structures outlive the kernel), so
+    /// it can be taken once before the superstep loop.
+    fn meta(&self) -> GraphMeta<'k> {
+        match self {
+            DistAccess::Shared(d) => d.graph().meta(),
+            DistAccess::Exclusive(d) => d.graph().meta(),
+            DistAccess::Compact(c) => c.meta(),
+        }
+    }
+
+    fn num_machines(&self) -> usize {
+        match self {
+            DistAccess::Shared(d) => d.assignment().num_machines(),
+            DistAccess::Exclusive(d) => d.assignment().num_machines(),
+            DistAccess::Compact(c) => c.num_machines(),
+        }
+    }
+
+    /// This superstep's read-only scan view. Re-taken per superstep
+    /// because the rebalance hook may mutate an exclusive view between
+    /// them.
+    fn step_view(&self) -> StepView<'_> {
+        match self {
+            DistAccess::Shared(d) => StepView::Plain(d),
+            DistAccess::Exclusive(d) => StepView::Plain(d),
+            DistAccess::Compact(c) => StepView::Compact(c),
+        }
+    }
+}
+
+/// The scan surface of one superstep: adjacency rows with machine lanes,
+/// per-row machine counts, and the replication structure — over either
+/// representation. `Copy`, so the fan-out closures capture it by value.
+///
+/// Adjacency accessors take a decode scratch buffer: the compact view
+/// decodes its varint row into it, the plain view ignores it and hands
+/// back its own slices. Rows decode in sorted neighbor order on the
+/// compact path (vs insertion order on the plain path); every fold the
+/// kernel runs over a row is order-insensitive, so reports stay
+/// byte-identical (asserted by `compact_paths_match_plain` below).
+#[derive(Clone, Copy)]
+enum StepView<'v> {
+    /// Plain CSR adjacency with aligned machine lanes.
+    Plain(&'v DistributedGraph<'v>),
+    /// Delta-varint adjacency, decoded on iterate.
+    Compact(&'v CompactDistGraph),
+}
+
+impl<'v> StepView<'v> {
+    #[inline]
+    fn out_adj<'s>(self, v: VertexId, scratch: &'s mut Vec<VertexId>) -> (&'s [VertexId], &'s [u16])
+    where
+        'v: 's,
+    {
+        match self {
+            StepView::Plain(d) => d.out_adj(v),
+            StepView::Compact(c) => c.out_adj_into(v, scratch),
+        }
+    }
+
+    #[inline]
+    fn in_adj<'s>(self, v: VertexId, scratch: &'s mut Vec<VertexId>) -> (&'s [VertexId], &'s [u16])
+    where
+        'v: 's,
+    {
+        match self {
+            StepView::Plain(d) => d.in_adj(v),
+            StepView::Compact(c) => c.in_adj_into(v, scratch),
+        }
+    }
+
+    fn machine_counts(self) -> Option<(&'v [u32], &'v [u32])> {
+        match self {
+            StepView::Plain(d) => d.machine_counts(),
+            StepView::Compact(c) => c.machine_counts(),
+        }
+    }
+
+    #[inline]
+    fn master(self, v: VertexId) -> usize {
+        match self {
+            StepView::Plain(d) => d.assignment().master(v).index(),
+            StepView::Compact(c) => c.master(v).index(),
+        }
+    }
+
+    #[inline]
+    fn replica_mask(self, v: VertexId) -> u64 {
+        match self {
+            StepView::Plain(d) => d.assignment().replica_mask(v),
+            StepView::Compact(c) => c.replica_mask(v),
         }
     }
 }
@@ -147,6 +249,10 @@ struct GatherChunk<D> {
     edge_work: Vec<f64>,
     vertex_count: Vec<u64>,
     sync_counts: Vec<u64>,
+    /// Compact-row decode scratch; unused (and never grown) on the plain
+    /// representation. Pooled with the chunk so steady-state supersteps
+    /// reuse its capacity.
+    adj_scratch: Vec<VertexId>,
 }
 
 impl<D> GatherChunk<D> {
@@ -156,6 +262,7 @@ impl<D> GatherChunk<D> {
             edge_work: vec![0.0f64; p],
             vertex_count: vec![0u64; p],
             sync_counts: vec![0u64; p],
+            adj_scratch: Vec::new(),
         }
     }
 
@@ -174,6 +281,8 @@ impl<D> GatherChunk<D> {
 struct ScatterChunk {
     edge_count: Vec<u64>,
     activations: Vec<VertexId>,
+    /// Compact-row decode scratch (see [`GatherChunk::adj_scratch`]).
+    adj_scratch: Vec<VertexId>,
 }
 
 impl ScatterChunk {
@@ -181,6 +290,7 @@ impl ScatterChunk {
         ScatterChunk {
             edge_count: vec![0u64; p],
             activations: Vec::new(),
+            adj_scratch: Vec::new(),
         }
     }
 
@@ -400,6 +510,37 @@ impl<'a> SimEngine<'a> {
         )
     }
 
+    /// [`SimEngine::run_on`] over a [`CompactDistGraph`] — the
+    /// delta-varint compressed view. Same kernel, same simulated report
+    /// bytes; only the in-memory representation (and the host-side
+    /// decode-on-iterate cost) differs. Placement is frozen — compact
+    /// runs take no rebalance policy.
+    ///
+    /// # Panics
+    /// Panics on a cluster/assignment machine-count mismatch.
+    pub fn run_compact_on<P: GasProgram>(
+        &self,
+        dist: &CompactDistGraph,
+        program: &P,
+    ) -> SimOutcome<P::VertexData> {
+        self.run_compact_on_with_threads(dist, program, 1)
+    }
+
+    /// [`SimEngine::run_compact_on`] with `host_threads` OS threads
+    /// (identical results; see the module docs for the determinism
+    /// contract).
+    ///
+    /// # Panics
+    /// Panics if `host_threads == 0` or on a cluster/assignment mismatch.
+    pub fn run_compact_on_with_threads<P: GasProgram>(
+        &self,
+        dist: &CompactDistGraph,
+        program: &P,
+        host_threads: usize,
+    ) -> SimOutcome<P::VertexData> {
+        self.kernel(DistAccess::Compact(dist), program, host_threads, None)
+    }
+
     /// **The superstep kernel** — the one implementation of the BSP loop
     /// (both public entry points above are thin wrappers; a guard test
     /// asserts the loop exists exactly once in this crate).
@@ -411,25 +552,25 @@ impl<'a> SimEngine<'a> {
         mut policy: Option<&mut dyn RebalancePolicy>,
     ) -> SimOutcome<P::VertexData> {
         assert!(host_threads > 0, "need at least one host thread");
-        let graph = access.view().graph();
+        let meta = access.meta();
         assert_eq!(
-            access.view().assignment().num_machines(),
+            access.num_machines(),
             self.cluster.len(),
             "assignment and cluster must have the same machine count"
         );
         let p = self.cluster.len();
-        let n = graph.num_vertices() as usize;
+        let n = meta.num_vertices() as usize;
         let profile = program.profile();
         profile.assert_valid();
-        let shape = GraphShape::of(graph);
+        let shape = GraphShape::of_meta(&meta);
         let machines = self.cluster.machines();
         let energy_model = EnergyModel::new(machines.to_vec());
 
-        let mut data: Vec<P::VertexData> = (0..n as u32).map(|v| program.init(graph, v)).collect();
+        let mut data: Vec<P::VertexData> = (0..n as u32).map(|v| program.init(&meta, v)).collect();
         // The frontier lives as a sorted, deduplicated `Vec<u32>`; scatter
         // collects next-step activations in a `FrontierSet` whose hybrid
         // extraction rebuilds this list between supersteps.
-        let mut frontier: Vec<u32> = match program.initial_active(graph) {
+        let mut frontier: Vec<u32> = match program.initial_active(&meta) {
             ActiveInit::All => (0..n as u32).collect(),
             ActiveInit::Seeds(mut seeds) => {
                 for &v in &seeds {
@@ -469,6 +610,11 @@ impl<'a> SimEngine<'a> {
         let mut s_vertex_count = vec![0u64; p];
         let mut s_sync = vec![0u64; p];
         let mut s_scatter_count = vec![0u64; p];
+        // Adjacency decode scratch for the compact representation: rows
+        // decode into it and are consumed in place. Grows to the max
+        // degree once, then steady-state supersteps stay allocation-free.
+        // The plain representation never touches it.
+        let mut s_adj: Vec<VertexId> = Vec::new();
         // Source-contribution table for programs whose gather depends only
         // on the gathered vertex (see `GasProgram::gather_by_source`):
         // evaluated once per source per superstep on dense frontiers,
@@ -501,16 +647,15 @@ impl<'a> SimEngine<'a> {
             }
             sync_counts.fill(0);
 
-            // Shared borrows of the (possibly migrated) view for this
+            // Shared borrow of the (possibly migrated) view for this
             // superstep's scans. Re-taken every iteration because the
             // rebalance hook at the bottom may mutate the view; the
             // machine-count tables are cached, so `machine_counts` is a
             // lookup after the first step. `None` on clusters too large
             // for the tables; the scans then fall back to the per-edge
             // machine lane.
-            let dist = access.view();
-            let assignment = dist.assignment();
-            let counts = dist.machine_counts();
+            let view = access.step_view();
+            let counts = view.machine_counts();
 
             // --- Gather + Apply (reads previous-step data), fanned out ---
             let wall_gather_t0 = if tracing { recorder.now_us() } else { 0.0 };
@@ -524,10 +669,10 @@ impl<'a> SimEngine<'a> {
             if use_table {
                 source_table.clear();
                 source_table.extend((0..n as u32).map(|u| {
-                    let c = program.source_gather(graph, &data, u);
+                    let c = program.source_gather(&meta, &data, u);
                     debug_assert!(
                         {
-                            let (pc, pw) = program.gather(graph, &data, u, u);
+                            let (pc, pw) = program.gather(&meta, &data, u, u);
                             pw == 1.0 && pc.is_some()
                         },
                         "gather_by_source contract violated for vertex {u}"
@@ -562,10 +707,10 @@ impl<'a> SimEngine<'a> {
                             &mut s_edge_work,
                             &mut s_vertex_count,
                             &mut s_sync,
+                            &mut s_adj,
                             &frontier[lo..hi],
-                            graph,
-                            dist,
-                            assignment,
+                            &meta,
+                            view,
                             program,
                             t,
                             step,
@@ -576,10 +721,10 @@ impl<'a> SimEngine<'a> {
                             &mut s_edge_work,
                             &mut s_vertex_count,
                             &mut s_sync,
+                            &mut s_adj,
                             &frontier[lo..hi],
-                            graph,
-                            dist,
-                            assignment,
+                            &meta,
+                            view,
                             program,
                             &data,
                             table,
@@ -611,10 +756,10 @@ impl<'a> SimEngine<'a> {
                             &mut out.edge_work,
                             &mut out.vertex_count,
                             &mut out.sync_counts,
+                            &mut out.adj_scratch,
                             &frontier[lo..hi],
-                            graph,
-                            dist,
-                            assignment,
+                            &meta,
+                            view,
                             program,
                             &data,
                             table,
@@ -666,9 +811,10 @@ impl<'a> SimEngine<'a> {
                     scatter_direct(
                         &mut s_scatter_count,
                         &mut next_frontier,
+                        &mut s_adj,
                         &changed,
-                        graph,
-                        dist,
+                        &meta,
+                        view,
                         program,
                         &data,
                         counts,
@@ -685,9 +831,10 @@ impl<'a> SimEngine<'a> {
                             scatter_chunk(
                                 &mut out.edge_count,
                                 &mut out.activations,
+                                &mut out.adj_scratch,
                                 &changed[lo..hi],
-                                graph,
-                                dist,
+                                &meta,
+                                view,
                                 program,
                                 &data,
                                 counts,
@@ -1162,14 +1309,14 @@ fn fold_table_row_fused<P: GasProgram>(
 /// mirror once.
 #[inline(always)]
 fn charge_vertex(
-    assignment: &PartitionAssignment,
+    view: StepView<'_>,
     v: VertexId,
     vertex_count: &mut [u64],
     sync_counts: &mut [u64],
 ) {
-    let master = assignment.master(v).index();
+    let master = view.master(v);
     vertex_count[master] += 1;
-    let mask = assignment.replica_mask(v);
+    let mask = view.replica_mask(v);
     let replicas = mask.count_ones();
     if replicas > 1 {
         sync_counts[master] += (replicas - 1) as u64;
@@ -1194,10 +1341,10 @@ fn gather_chunk<P: GasProgram>(
     edge_work: &mut [f64],
     vertex_count: &mut [u64],
     sync_counts: &mut [u64],
+    adj: &mut Vec<VertexId>,
     chunk: &[u32],
-    graph: &Graph,
-    dist: &DistributedGraph<'_>,
-    assignment: &PartitionAssignment,
+    meta: &GraphMeta<'_>,
+    view: StepView<'_>,
     program: &P,
     data: &[P::VertexData],
     table: Option<&[P::Accum]>,
@@ -1213,35 +1360,35 @@ fn gather_chunk<P: GasProgram>(
             // pure table replay.
             Some(t) => {
                 if matches!(dir, Direction::In | Direction::Both) {
-                    let (targets, machines) = dist.in_adj(v);
+                    let (targets, machines) = view.in_adj(v, adj);
                     fold_table_row_fused(program, t, targets, machines, edge_work, &mut acc);
                 }
                 if matches!(dir, Direction::Out | Direction::Both) {
-                    let (targets, machines) = dist.out_adj(v);
+                    let (targets, machines) = view.out_adj(v, adj);
                     fold_table_row_fused(program, t, targets, machines, edge_work, &mut acc);
                 }
             }
             None => match dir {
                 Direction::In => {
-                    let (t, m) = dist.in_adj(v);
-                    gather_adj(program, graph, data, v, t, m, edge_work, &mut acc);
+                    let (t, m) = view.in_adj(v, adj);
+                    gather_adj(program, meta, data, v, t, m, edge_work, &mut acc);
                 }
                 Direction::Out => {
-                    let (t, m) = dist.out_adj(v);
-                    gather_adj(program, graph, data, v, t, m, edge_work, &mut acc);
+                    let (t, m) = view.out_adj(v, adj);
+                    gather_adj(program, meta, data, v, t, m, edge_work, &mut acc);
                 }
                 Direction::Both => {
-                    let (t, m) = dist.in_adj(v);
-                    gather_adj(program, graph, data, v, t, m, edge_work, &mut acc);
-                    let (t, m) = dist.out_adj(v);
-                    gather_adj(program, graph, data, v, t, m, edge_work, &mut acc);
+                    let (t, m) = view.in_adj(v, adj);
+                    gather_adj(program, meta, data, v, t, m, edge_work, &mut acc);
+                    let (t, m) = view.out_adj(v, adj);
+                    gather_adj(program, meta, data, v, t, m, edge_work, &mut acc);
                 }
                 Direction::None => {}
             },
         }
-        let (nd, did_change) = program.apply(graph, v, &data[v as usize], acc, step);
+        let (nd, did_change) = program.apply(meta, v, &data[v as usize], acc, step);
         changes.push((v, nd, did_change));
-        charge_vertex(assignment, v, vertex_count, sync_counts);
+        charge_vertex(view, v, vertex_count, sync_counts);
     }
 }
 
@@ -1259,10 +1406,10 @@ fn gather_apply_table_inplace<P: GasProgram>(
     edge_work: &mut [f64],
     vertex_count: &mut [u64],
     sync_counts: &mut [u64],
+    adj: &mut Vec<VertexId>,
     chunk: &[u32],
-    graph: &Graph,
-    dist: &DistributedGraph<'_>,
-    assignment: &PartitionAssignment,
+    meta: &GraphMeta<'_>,
+    view: StepView<'_>,
     program: &P,
     t: &[P::Accum],
     step: usize,
@@ -1271,19 +1418,19 @@ fn gather_apply_table_inplace<P: GasProgram>(
     for &v in chunk {
         let mut acc: Option<P::Accum> = None;
         if matches!(dir, Direction::In | Direction::Both) {
-            let (targets, machines) = dist.in_adj(v);
+            let (targets, machines) = view.in_adj(v, adj);
             fold_table_row_fused(program, t, targets, machines, edge_work, &mut acc);
         }
         if matches!(dir, Direction::Out | Direction::Both) {
-            let (targets, machines) = dist.out_adj(v);
+            let (targets, machines) = view.out_adj(v, adj);
             fold_table_row_fused(program, t, targets, machines, edge_work, &mut acc);
         }
-        let (nd, did_change) = program.apply(graph, v, &data[v as usize], acc, step);
+        let (nd, did_change) = program.apply(meta, v, &data[v as usize], acc, step);
         data[v as usize] = nd;
         if did_change {
             changed.push(v);
         }
-        charge_vertex(assignment, v, vertex_count, sync_counts);
+        charge_vertex(view, v, vertex_count, sync_counts);
     }
 }
 
@@ -1294,7 +1441,7 @@ fn gather_apply_table_inplace<P: GasProgram>(
 #[inline]
 fn gather_adj<P: GasProgram>(
     program: &P,
-    graph: &Graph,
+    meta: &GraphMeta<'_>,
     data: &[P::VertexData],
     v: VertexId,
     targets: &[VertexId],
@@ -1304,7 +1451,7 @@ fn gather_adj<P: GasProgram>(
 ) {
     debug_assert_eq!(targets.len(), machines.len());
     for (&u, &m) in targets.iter().zip(machines.iter()) {
-        gather_edge(program, graph, data, v, u, m, edge_work, acc);
+        gather_edge(program, meta, data, v, u, m, edge_work, acc);
     }
 }
 
@@ -1313,7 +1460,7 @@ fn gather_adj<P: GasProgram>(
 #[inline(always)]
 fn gather_edge<P: GasProgram>(
     program: &P,
-    graph: &Graph,
+    meta: &GraphMeta<'_>,
     data: &[P::VertexData],
     v: VertexId,
     u: VertexId,
@@ -1321,7 +1468,7 @@ fn gather_edge<P: GasProgram>(
     edge_work: &mut [f64],
     acc: &mut Option<P::Accum>,
 ) {
-    let (contrib, w) = program.gather(graph, data, v, u);
+    let (contrib, w) = program.gather(meta, data, v, u);
     edge_work[m as usize] += w;
     if let Some(c) = contrib {
         *acc = Some(match acc.take() {
@@ -1338,9 +1485,10 @@ fn gather_edge<P: GasProgram>(
 fn scatter_direct<P: GasProgram>(
     edge_count: &mut [u64],
     frontier: &mut FrontierSet,
+    adj: &mut Vec<VertexId>,
     changed: &[u32],
-    graph: &Graph,
-    dist: &DistributedGraph<'_>,
+    meta: &GraphMeta<'_>,
+    view: StepView<'_>,
     program: &P,
     data: &[P::VertexData],
     counts: Option<(&[u32], &[u32])>,
@@ -1350,19 +1498,19 @@ fn scatter_direct<P: GasProgram>(
     let (out_counts, in_counts) = (counts.map(|c| c.0), counts.map(|c| c.1));
     for &v in changed {
         if matches!(dir, Direction::In | Direction::Both) {
-            let (t, m) = dist.in_adj(v);
+            let (t, m) = view.in_adj(v, adj);
             charge_unit_row_u64(edge_count, m, count_row(in_counts, v, p));
             for &u in t {
-                if program.scatter_activates(graph, data, v, u, true) {
+                if program.scatter_activates(meta, data, v, u, true) {
                     frontier.insert(u);
                 }
             }
         }
         if matches!(dir, Direction::Out | Direction::Both) {
-            let (t, m) = dist.out_adj(v);
+            let (t, m) = view.out_adj(v, adj);
             charge_unit_row_u64(edge_count, m, count_row(out_counts, v, p));
             for &u in t {
-                if program.scatter_activates(graph, data, v, u, true) {
+                if program.scatter_activates(meta, data, v, u, true) {
                     frontier.insert(u);
                 }
             }
@@ -1376,9 +1524,10 @@ fn scatter_direct<P: GasProgram>(
 fn scatter_chunk<P: GasProgram>(
     edge_count: &mut [u64],
     activations: &mut Vec<VertexId>,
+    adj: &mut Vec<VertexId>,
     chunk: &[u32],
-    graph: &Graph,
-    dist: &DistributedGraph<'_>,
+    meta: &GraphMeta<'_>,
+    view: StepView<'_>,
     program: &P,
     data: &[P::VertexData],
     counts: Option<(&[u32], &[u32])>,
@@ -1388,19 +1537,19 @@ fn scatter_chunk<P: GasProgram>(
     let (out_counts, in_counts) = (counts.map(|c| c.0), counts.map(|c| c.1));
     for &v in chunk {
         if matches!(dir, Direction::In | Direction::Both) {
-            let (t, m) = dist.in_adj(v);
+            let (t, m) = view.in_adj(v, adj);
             charge_unit_row_u64(edge_count, m, count_row(in_counts, v, p));
             for &u in t {
-                if program.scatter_activates(graph, data, v, u, true) {
+                if program.scatter_activates(meta, data, v, u, true) {
                     activations.push(u);
                 }
             }
         }
         if matches!(dir, Direction::Out | Direction::Both) {
-            let (t, m) = dist.out_adj(v);
+            let (t, m) = view.out_adj(v, adj);
             charge_unit_row_u64(edge_count, m, count_row(out_counts, v, p));
             for &u in t {
-                if program.scatter_activates(graph, data, v, u, true) {
+                if program.scatter_activates(meta, data, v, u, true) {
                     activations.push(u);
                 }
             }
@@ -1444,7 +1593,7 @@ mod tests {
         fn profile(&self) -> AppProfile {
             test_profile()
         }
-        fn init(&self, _g: &Graph, v: VertexId) -> u32 {
+        fn init(&self, _g: &GraphMeta<'_>, v: VertexId) -> u32 {
             v
         }
         fn gather_direction(&self) -> Direction {
@@ -1452,7 +1601,7 @@ mod tests {
         }
         fn gather(
             &self,
-            _g: &Graph,
+            _g: &GraphMeta<'_>,
             data: &[u32],
             _v: VertexId,
             u: VertexId,
@@ -1464,7 +1613,7 @@ mod tests {
         }
         fn apply(
             &self,
-            _g: &Graph,
+            _g: &GraphMeta<'_>,
             _v: VertexId,
             old: &u32,
             acc: Option<u32>,
@@ -1547,6 +1696,47 @@ mod tests {
         let r1 = SimEngine::new(&cluster).run(&g, &a, &MinLabel).report;
         let r2 = SimEngine::new(&cluster).run(&g, &a, &MinLabel).report;
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn compact_paths_match_plain() {
+        // The compressed view must reproduce the plain run bit-for-bit:
+        // same vertex data, same SimReport (work sums, timings, energy) —
+        // at every host thread count. This is the contract that makes
+        // `--compact` a pure representation switch.
+        for g in [two_components(), big_graph()] {
+            let cluster = Cluster::case3();
+            let a = partitioned(&g, &cluster);
+            let dist = DistributedGraph::new(&g, &a).unwrap();
+            let compact = crate::CompactDistGraph::from_dist(&dist);
+            let engine = SimEngine::new(&cluster);
+            let plain = engine.run_on(&dist, &MinLabel);
+            for threads in [1, 2, 4] {
+                let c = engine.run_compact_on_with_threads(&compact, &MinLabel, threads);
+                assert_eq!(c.data, plain.data, "data at {threads} threads");
+                assert_eq!(c.report, plain.report, "report at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_stream_build_runs_identically() {
+        // End-to-end shard-style path: build the compact view from a
+        // replayed edge stream (never materializing a DistributedGraph)
+        // and get the same outcome.
+        let g = big_graph();
+        let cluster = Cluster::case2();
+        let a = partitioned(&g, &cluster);
+        let edges: Vec<Edge> = g.edges().to_vec();
+        let compact = crate::CompactDistGraph::from_edge_stream(g.num_vertices(), &a, || {
+            edges.iter().copied()
+        })
+        .unwrap();
+        let engine = SimEngine::new(&cluster);
+        let plain = engine.run(&g, &a, &MinLabel);
+        let c = engine.run_compact_on(&compact, &MinLabel);
+        assert_eq!(c.data, plain.data);
+        assert_eq!(c.report, plain.report);
     }
 
     #[test]

@@ -157,16 +157,22 @@ impl GraphSpec {
         ((self.edges / scale as u64).max(1)) as usize
     }
 
-    /// Generate at `1/scale` of full size.
-    pub fn generate_scaled(&self, scale: u32) -> Graph {
-        let cfg = RmatConfig {
+    /// The R-MAT recipe realizing this stand-in at `1/scale` — the shared
+    /// source of truth for both in-memory and shard-streamed generation
+    /// (pair it with [`GraphSpec::seed`]).
+    pub fn scaled_config(&self, scale: u32) -> RmatConfig {
+        RmatConfig {
             num_vertices: self.scaled_vertices(scale),
             num_edges: self.scaled_edges(scale),
             probabilities: self.probabilities,
             noise: self.noise,
             omit_self_loops: true,
-        };
-        cfg.generate(self.seed)
+        }
+    }
+
+    /// Generate at `1/scale` of full size.
+    pub fn generate_scaled(&self, scale: u32) -> Graph {
+        self.scaled_config(scale).generate(self.seed)
     }
 }
 

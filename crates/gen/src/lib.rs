@@ -30,6 +30,11 @@
 //! Two further families serve the ablations: [`preferential`]
 //! (Barabási–Albert — heavy tails *by growth*) and [`smallworld`]
 //! (Watts–Strogatz — the hub-free adversarial case).
+//!
+//! [`stream`] exposes the power-law, R-MAT, and G(n, m) families as
+//! [`StreamingGenerator`]s that emit edges through a callback and write
+//! fixed-size shard directories with bounded buffering — the ingestion
+//! path for graphs too large to materialize.
 
 pub mod alpha;
 pub mod catalog;
@@ -38,6 +43,7 @@ pub mod preferential;
 pub mod proxy;
 pub mod rmat;
 pub mod smallworld;
+pub mod stream;
 pub mod structured;
 pub mod uniform;
 
@@ -48,3 +54,5 @@ pub use preferential::BarabasiAlbertConfig;
 pub use proxy::{ProxyGraph, ProxySet};
 pub use rmat::RmatConfig;
 pub use smallworld::SmallWorldConfig;
+pub use stream::StreamingGenerator;
+pub use uniform::GnmConfig;

@@ -70,6 +70,16 @@ impl PowerLawConfig {
     /// # Panics
     /// Panics if `num_vertices == 0` (an empty proxy is meaningless).
     pub fn generate(&self, seed: u64) -> Graph {
+        let expected = self.expected_edges();
+        let mut list = EdgeList::with_capacity(self.num_vertices, expected as usize + 16);
+        self.for_each_edge_impl(seed, &mut |e| list.push(e));
+        Graph::from_edge_list(list)
+    }
+
+    /// Emit every edge of `generate(seed)` in order through `f` — the
+    /// streaming core both `generate` and the shard writer share, so the
+    /// two paths cannot diverge.
+    pub(crate) fn for_each_edge_impl(&self, seed: u64, f: &mut dyn FnMut(Edge)) {
         assert!(
             self.num_vertices > 0,
             "power-law generator needs at least one vertex"
@@ -82,9 +92,6 @@ impl PowerLawConfig {
         // table corresponds to degree 1. The table only depends on
         // (α, d_max) — not the seed — so multi-seed sweeps share it.
         let cdf = cdf_table(self.alpha, d_max);
-
-        let expected = self.expected_edges();
-        let mut list = EdgeList::with_capacity(n, expected as usize + 16);
 
         // Step 3–4: per-vertex degree draw, then hashed targets. The target
         // hash mixes the seed so different seeds give different wirings even
@@ -112,10 +119,9 @@ impl PowerLawConfig {
                         continue;
                     }
                 }
-                list.push(Edge::new(u, v));
+                f(Edge::new(u, v));
             }
         }
-        Graph::from_edge_list(list)
     }
 }
 

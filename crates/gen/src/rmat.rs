@@ -67,6 +67,14 @@ impl RmatConfig {
     /// # Panics
     /// Panics if `num_vertices == 0`.
     pub fn generate(&self, seed: u64) -> Graph {
+        let mut list = EdgeList::with_capacity(self.num_vertices, self.num_edges);
+        self.for_each_edge_impl(seed, &mut |e| list.push(e));
+        Graph::from_edge_list(list)
+    }
+
+    /// Emit every edge of `generate(seed)` in order through `f` — the
+    /// streaming core both `generate` and the shard writer share.
+    pub(crate) fn for_each_edge_impl(&self, seed: u64, f: &mut dyn FnMut(Edge)) {
         assert!(self.num_vertices > 0, "R-MAT needs at least one vertex");
         let n = self.num_vertices;
         let levels = 32 - (n.max(2) - 1).leading_zeros(); // ceil(log2 n)
@@ -74,7 +82,6 @@ impl RmatConfig {
         let mut rng = Xoshiro256::new(seed);
         let (a, b, c, _d) = self.probabilities;
 
-        let mut list = EdgeList::with_capacity(n, self.num_edges);
         let mut produced = 0usize;
         // Bound the retry loop: degenerate configs (e.g. n == 1 with self
         // loops omitted) must not spin forever.
@@ -110,10 +117,9 @@ impl RmatConfig {
             if self.omit_self_loops && src == dst {
                 continue;
             }
-            list.push(Edge::new(src, dst));
+            f(Edge::new(src, dst));
             produced += 1;
         }
-        Graph::from_edge_list(list)
     }
 }
 

@@ -14,24 +14,56 @@ use hetgraph_core::{Edge, EdgeList, Graph};
 /// # Panics
 /// Panics if `num_vertices < 2` while `num_edges > 0`.
 pub fn gnm(num_vertices: u32, num_edges: usize, seed: u64) -> Graph {
-    if num_edges > 0 {
-        assert!(
-            num_vertices >= 2,
-            "need at least 2 vertices to avoid self loops"
-        );
-    }
-    let mut rng = Xoshiro256::new(seed);
-    let mut list = EdgeList::with_capacity(num_vertices, num_edges);
-    for _ in 0..num_edges {
-        let src = rng.next_bounded(num_vertices as u64) as u32;
-        // Draw dst from the n-1 non-src vertices (uniform, no rejection loop).
-        let mut dst = rng.next_bounded(num_vertices as u64 - 1) as u32;
-        if dst >= src {
-            dst += 1;
+    GnmConfig::new(num_vertices, num_edges).generate(seed)
+}
+
+/// Configuration wrapper for `G(n, m)`, mainly so the uniform family can
+/// participate in the streaming-generator machinery alongside the
+/// power-law and R-MAT configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GnmConfig {
+    /// Number of vertices `n`.
+    pub num_vertices: u32,
+    /// Number of edges `m`.
+    pub num_edges: usize,
+}
+
+impl GnmConfig {
+    /// A `G(n, m)` configuration.
+    pub fn new(num_vertices: u32, num_edges: usize) -> Self {
+        GnmConfig {
+            num_vertices,
+            num_edges,
         }
-        list.push(Edge::new(src, dst));
     }
-    Graph::from_edge_list(list)
+
+    /// Generate the graph with the given seed (same contract as [`gnm`]).
+    pub fn generate(&self, seed: u64) -> Graph {
+        let mut list = EdgeList::with_capacity(self.num_vertices, self.num_edges);
+        self.for_each_edge_impl(seed, &mut |e| list.push(e));
+        Graph::from_edge_list(list)
+    }
+
+    /// Emit every edge of `generate(seed)` in order through `f` — the
+    /// streaming core both `generate` and the shard writer share.
+    pub(crate) fn for_each_edge_impl(&self, seed: u64, f: &mut dyn FnMut(Edge)) {
+        if self.num_edges > 0 {
+            assert!(
+                self.num_vertices >= 2,
+                "need at least 2 vertices to avoid self loops"
+            );
+        }
+        let mut rng = Xoshiro256::new(seed);
+        for _ in 0..self.num_edges {
+            let src = rng.next_bounded(self.num_vertices as u64) as u32;
+            // Draw dst from the n-1 non-src vertices (uniform, no rejection loop).
+            let mut dst = rng.next_bounded(self.num_vertices as u64 - 1) as u32;
+            if dst >= src {
+                dst += 1;
+            }
+            f(Edge::new(src, dst));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -144,6 +144,16 @@ impl PartitionAssignment {
         MachineId(self.edge_machine[i])
     }
 
+    /// Resident footprint in bytes of the O(V)+O(E) arrays this
+    /// assignment holds: the per-edge machine lane, the per-vertex
+    /// replica masks and masters, and the per-machine edge totals.
+    pub fn resident_bytes(&self) -> usize {
+        self.edge_machine.len() * 2
+            + self.replica_mask.len() * 8
+            + self.master.len() * 2
+            + self.edges_per_machine.len() * std::mem::size_of::<usize>()
+    }
+
     /// The raw per-edge machine vector.
     pub fn edge_machines(&self) -> &[u16] {
         &self.edge_machine

@@ -16,11 +16,11 @@
 //! partitioners.
 
 use hetgraph_core::rng::{hash64, hash_combine};
-use hetgraph_core::{Graph, MachineId};
+use hetgraph_core::{Edge, Graph, MachineId};
 
 use crate::assignment::PartitionAssignment;
 use crate::chunk::chunked_map;
-use crate::traits::Partitioner;
+use crate::traits::{Partitioner, StreamPartitioner};
 use crate::weights::{assert_bitmask_capacity, MachineWeights};
 
 /// Constrained grid partitioner.
@@ -113,47 +113,104 @@ impl Partitioner for Grid {
                 .index()]
         });
 
-        // The placement loop stays serial — each choice depends on the
-        // loads left by every previous edge — but the normalized loads are
-        // cached and recomputed (same division expression as
-        // `MachineWeights::normalized_load`) only for the chosen machine,
-        // and the candidate scan mirrors `MachineWeights::least_loaded`
-        // bit-for-bit: ascending machine id, `<` with low-id tie-break.
-        let mut loads = vec![0f64; p];
-        let mut nl: Vec<f64> = (0..p).map(|i| loads[i] / ws[i]).collect();
-        let mut assignment = Vec::with_capacity(graph.num_edges());
-        for e in graph.edges() {
-            let su = vertex_mask[e.src as usize];
-            let sv = vertex_mask[e.dst as usize];
-            let inter = su & sv;
-            // A full grid always intersects (the corner cells); a partial
-            // last row can make the intersection empty — fall back to the
-            // union, then to everything.
-            let candidates = if inter != 0 {
-                inter
-            } else if su | sv != 0 {
-                su | sv
-            } else {
-                (1u64 << p) - 1
-            };
-            let mut chosen = usize::MAX;
-            let mut best = f64::INFINITY;
-            for m in mask_machines(candidates) {
-                // Finite normalized loads, ascending ids: strict `<` keeps
-                // the lowest id on ties, exactly like `least_loaded`.
-                let v = nl[m.index()];
-                if v < best {
-                    best = v;
-                    chosen = m.index();
-                }
-            }
-            debug_assert!(chosen != usize::MAX, "candidate mask was empty");
-            loads[chosen] += 1.0;
-            nl[chosen] = loads[chosen] / ws[chosen];
-            assignment.push(chosen as u16);
-        }
-        PartitionAssignment::from_edge_machines_with_threads(graph, p, assignment, host_threads)
+        let (assignment, replica_mask, edges_per_machine) = place(
+            ws,
+            &vertex_mask,
+            graph.edges().iter().copied(),
+            graph.num_edges(),
+        );
+        PartitionAssignment::from_parts(
+            p,
+            assignment,
+            replica_mask,
+            edges_per_machine,
+            host_threads,
+        )
     }
+}
+
+impl StreamPartitioner for Grid {
+    fn partition_stream(
+        &self,
+        num_vertices: u32,
+        weights: &MachineWeights,
+        edges: &mut dyn Iterator<Item = Edge>,
+    ) -> PartitionAssignment {
+        let p = weights.len();
+        assert_bitmask_capacity(p);
+        let (r, c) = grid_dims(p);
+        let constraints: Vec<u64> = (0..p).map(|m| constraint_set(m, p, r, c)).collect();
+        // The home hash is per *vertex*, so the O(V) constraint table is
+        // computable before the first edge arrives — the stream needs no
+        // second pass.
+        let n = num_vertices as usize;
+        let vertex_mask: Vec<u64> = (0..n)
+            .map(|v| {
+                constraints[weights
+                    .pick(hash64(hash_combine(v as u64, 0x6772_6964)))
+                    .index()]
+            })
+            .collect();
+        let (assignment, replica_mask, edges_per_machine) =
+            place(weights.as_slice(), &vertex_mask, edges, 0);
+        PartitionAssignment::from_parts(p, assignment, replica_mask, edges_per_machine, 1)
+    }
+}
+
+/// The serial placement loop both entry points share — each choice depends
+/// on the loads left by every previous edge. The normalized loads are
+/// cached and recomputed (same division expression as
+/// `MachineWeights::normalized_load`) only for the chosen machine, and the
+/// candidate scan mirrors `MachineWeights::least_loaded` bit-for-bit:
+/// ascending machine id, `<` with low-id tie-break. Replica masks and
+/// per-machine counts are accumulated inline so the caller can hand them
+/// straight to `PartitionAssignment::from_parts` without an O(E) replay.
+fn place(
+    ws: &[f64],
+    vertex_mask: &[u64],
+    edges: impl Iterator<Item = Edge>,
+    capacity: usize,
+) -> (Vec<u16>, Vec<u64>, Vec<usize>) {
+    let p = ws.len();
+    let mut loads = vec![0f64; p];
+    let mut nl: Vec<f64> = (0..p).map(|i| loads[i] / ws[i]).collect();
+    let mut assignment = Vec::with_capacity(capacity);
+    let mut replica_mask = vec![0u64; vertex_mask.len()];
+    let mut edges_per_machine = vec![0usize; p];
+    for e in edges {
+        let su = vertex_mask[e.src as usize];
+        let sv = vertex_mask[e.dst as usize];
+        let inter = su & sv;
+        // A full grid always intersects (the corner cells); a partial
+        // last row can make the intersection empty — fall back to the
+        // union, then to everything.
+        let candidates = if inter != 0 {
+            inter
+        } else if su | sv != 0 {
+            su | sv
+        } else {
+            (1u64 << p) - 1
+        };
+        let mut chosen = usize::MAX;
+        let mut best = f64::INFINITY;
+        for m in mask_machines(candidates) {
+            // Finite normalized loads, ascending ids: strict `<` keeps
+            // the lowest id on ties, exactly like `least_loaded`.
+            let v = nl[m.index()];
+            if v < best {
+                best = v;
+                chosen = m.index();
+            }
+        }
+        debug_assert!(chosen != usize::MAX, "candidate mask was empty");
+        loads[chosen] += 1.0;
+        nl[chosen] = loads[chosen] / ws[chosen];
+        replica_mask[e.src as usize] |= 1u64 << chosen;
+        replica_mask[e.dst as usize] |= 1u64 << chosen;
+        edges_per_machine[chosen] += 1;
+        assignment.push(chosen as u16);
+    }
+    (assignment, replica_mask, edges_per_machine)
 }
 
 #[cfg(test)]
@@ -250,6 +307,24 @@ mod tests {
         let g = skewed_graph();
         let w = MachineWeights::uniform(9);
         assert_eq!(Grid::new().partition(&g, &w), Grid::new().partition(&g, &w));
+    }
+
+    #[test]
+    fn stream_equals_graph_partition() {
+        let g = skewed_graph();
+        for weights in [
+            MachineWeights::uniform(2),
+            MachineWeights::uniform(9),
+            MachineWeights::from_ccr(&[1.0, 3.0]),
+        ] {
+            let from_graph = Grid::new().partition(&g, &weights);
+            let from_stream = Grid::new().partition_stream(
+                g.num_vertices(),
+                &weights,
+                &mut g.edges().iter().copied(),
+            );
+            assert_eq!(from_graph, from_stream);
+        }
     }
 
     #[test]

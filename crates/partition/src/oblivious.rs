@@ -18,11 +18,13 @@
 //! do not guarantee an exact balance" — locality pulls against the target
 //! ratio.
 
+use std::collections::VecDeque;
+
 use hetgraph_core::rng::hash64;
-use hetgraph_core::Graph;
+use hetgraph_core::{Edge, Graph};
 
 use crate::assignment::PartitionAssignment;
-use crate::traits::Partitioner;
+use crate::traits::{Partitioner, StreamPartitioner};
 use crate::weights::{assert_bitmask_capacity, MachineWeights};
 
 /// `f64::max` restricted to non-NaN inputs: the bare compare-select maps
@@ -70,10 +72,42 @@ impl Partitioner for Oblivious {
     }
 
     fn partition(&self, graph: &Graph, weights: &MachineWeights) -> PartitionAssignment {
+        self.stream_impl(
+            graph.num_vertices() as usize,
+            weights,
+            graph.edges().iter().copied(),
+            graph.num_edges(),
+        )
+    }
+}
+
+impl StreamPartitioner for Oblivious {
+    fn partition_stream(
+        &self,
+        num_vertices: u32,
+        weights: &MachineWeights,
+        edges: &mut dyn Iterator<Item = Edge>,
+    ) -> PartitionAssignment {
+        self.stream_impl(num_vertices as usize, weights, edges, 0)
+    }
+}
+
+impl Oblivious {
+    /// The single greedy pass both entry points share: scores arrive from
+    /// whatever produces the edges — a CSR walk or a shard reader — and
+    /// the per-edge state (replica masks, loads, balance cache) never
+    /// depends on anything but the edges already seen, so the two
+    /// entry points are byte-identical by construction.
+    fn stream_impl(
+        &self,
+        n: usize,
+        weights: &MachineWeights,
+        mut edges: impl Iterator<Item = Edge>,
+        capacity: usize,
+    ) -> PartitionAssignment {
         let p = weights.len();
         assert_bitmask_capacity(p);
-        let n = graph.num_vertices() as usize;
-        let mut assignment: Vec<u16> = Vec::with_capacity(graph.num_edges());
+        let mut assignment: Vec<u16> = Vec::with_capacity(capacity);
 
         // Streaming fast path. The reference loop recomputes every
         // machine's normalized load `load / weight`, its min/max, and the
@@ -181,19 +215,30 @@ impl Partitioner for Oblivious {
         macro_rules! stream {
             ($mask:ty) => {{
                 let mut replicas = vec![0 as $mask; n]; // running replica sets
-                let edges = graph.edges();
-                let m = edges.len();
-                for t in 0..m {
-                    let e = &edges[t];
+                // An 8-deep lookahead ring stands in for slice indexing:
+                // the back of the ring is the edge 8 ahead of the one being
+                // placed (or the last edge once the source dries up).
+                let mut ring: VecDeque<Edge> = VecDeque::with_capacity(8);
+                while ring.len() < 8 {
+                    match edges.next() {
+                        Some(e) => ring.push_back(e),
+                        None => break,
+                    }
+                }
+                while let Some(cur) = ring.pop_front() {
+                    if let Some(nx) = edges.next() {
+                        ring.push_back(nx);
+                    }
                     // Software prefetch: touch the replica entries a few
                     // edges ahead so their (hash-scattered) cache lines and
                     // TLB entries are resolved before the dependent scoring
                     // chain needs them. `black_box` keeps the otherwise
                     // dead loads alive; the values are discarded, so
                     // assignments are unaffected.
-                    let pf = &edges[(t + 8).min(m - 1)];
+                    let pf = ring.back().copied().unwrap_or(cur);
                     std::hint::black_box(replicas[pf.src as usize]);
                     std::hint::black_box(replicas[pf.dst as usize]);
+                    let e = &cur;
                     let mu = replicas[e.src as usize] as u64;
                     let mv = replicas[e.dst as usize] as u64;
 
@@ -470,6 +515,43 @@ mod tests {
         let g = skewed_graph();
         let a = Oblivious::new().partition(&g, &MachineWeights::uniform(5));
         assert_eq!(a.edge_machines().len(), g.num_edges());
+    }
+
+    #[test]
+    fn stream_equals_graph_partition() {
+        // The history-based scorer is the partitioner most sensitive to
+        // ordering: byte-equality here exercises the full balance-cache
+        // and tie-break machinery through the lookahead ring.
+        let g = skewed_graph();
+        for weights in [
+            MachineWeights::uniform(3),
+            MachineWeights::uniform(17), // u32 replica-mask monomorphization
+            MachineWeights::from_ccr(&[1.0, 3.0]),
+        ] {
+            let from_graph = Oblivious::new().partition(&g, &weights);
+            let from_stream = Oblivious::new().partition_stream(
+                g.num_vertices(),
+                &weights,
+                &mut g.edges().iter().copied(),
+            );
+            assert_eq!(from_graph, from_stream);
+        }
+    }
+
+    #[test]
+    fn tiny_streams_shorter_than_the_lookahead_ring() {
+        // Fewer edges than the 8-deep prefetch ring: the drain path (ring
+        // shrinking, `unwrap_or(cur)` fallback) must not perturb anything.
+        let g = Graph::from_edge_list(EdgeList::from_edges(
+            4,
+            vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(0, 1)],
+        ));
+        let w = MachineWeights::uniform(4);
+        let a = Oblivious::new().partition(&g, &w);
+        let b = Oblivious::new().partition_stream(4, &w, &mut g.edges().iter().copied());
+        assert_eq!(a, b);
+        let empty = Oblivious::new().partition_stream(4, &w, &mut std::iter::empty());
+        assert_eq!(empty.edge_machines().len(), 0);
     }
 
     #[test]

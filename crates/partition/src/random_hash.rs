@@ -8,11 +8,11 @@
 //! [`MachineWeights::pick`].
 
 use hetgraph_core::rng::{hash64, hash_combine};
-use hetgraph_core::Graph;
+use hetgraph_core::{Edge, Graph};
 
 use crate::assignment::PartitionAssignment;
 use crate::chunk::chunked_map;
-use crate::traits::Partitioner;
+use crate::traits::{Partitioner, StreamPartitioner};
 use crate::weights::{assert_bitmask_capacity, MachineWeights};
 
 /// Random-hash edge partitioner.
@@ -71,6 +71,36 @@ impl Partitioner for RandomHash {
             weights.len(),
             assignment,
             host_threads,
+        )
+    }
+}
+
+impl StreamPartitioner for RandomHash {
+    fn partition_stream(
+        &self,
+        num_vertices: u32,
+        weights: &MachineWeights,
+        edges: &mut dyn Iterator<Item = Edge>,
+    ) -> PartitionAssignment {
+        assert_bitmask_capacity(weights.len());
+        let n = num_vertices as usize;
+        let mut assignment: Vec<u16> = Vec::new();
+        let mut replica_mask = vec![0u64; n];
+        let mut edges_per_machine = vec![0usize; weights.len()];
+        for e in edges {
+            let h = hash64(hash_combine(e.key(), self.salt));
+            let m = weights.pick(h).0;
+            replica_mask[e.src as usize] |= 1u64 << m;
+            replica_mask[e.dst as usize] |= 1u64 << m;
+            edges_per_machine[m as usize] += 1;
+            assignment.push(m);
+        }
+        PartitionAssignment::from_parts(
+            weights.len(),
+            assignment,
+            replica_mask,
+            edges_per_machine,
+            1,
         )
     }
 }
@@ -136,6 +166,23 @@ mod tests {
         assert_eq!(a.edge_machines().len(), g.num_edges());
         let total: usize = a.edges_per_machine().iter().sum();
         assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn stream_equals_graph_partition() {
+        let g = power_law_like_graph();
+        for weights in [
+            MachineWeights::uniform(4),
+            MachineWeights::from_ccr(&[1.0, 3.0]),
+        ] {
+            let from_graph = RandomHash::new().partition(&g, &weights);
+            let from_stream = RandomHash::new().partition_stream(
+                g.num_vertices(),
+                &weights,
+                &mut g.edges().iter().copied(),
+            );
+            assert_eq!(from_graph, from_stream);
+        }
     }
 
     #[test]

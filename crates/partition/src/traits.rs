@@ -2,7 +2,7 @@
 
 use hetgraph_core::metrics::MetricsRegistry;
 use hetgraph_core::obs::{Recorder, TimeDomain, TraceEvent};
-use hetgraph_core::Graph;
+use hetgraph_core::{Edge, Graph};
 
 use crate::assignment::PartitionAssignment;
 use crate::weights::MachineWeights;
@@ -149,6 +149,32 @@ pub trait Partitioner {
     }
 }
 
+/// A partitioner that can consume an edge *stream* — one pass, in edge
+/// order, without a materialized [`Graph`] — so ingestion RSS stays
+/// bounded by the per-vertex state (replica masks) plus the assignment
+/// being produced, never by the edge list.
+///
+/// The contract is strict equality: for the same edges in the same order,
+/// `partition_stream` must return an assignment byte-identical to
+/// [`Partitioner::partition`] over the materialized graph. Only the
+/// single-pass algorithms implement this — Random, Grid, and Oblivious
+/// already score edge-at-a-time; Hybrid and Ginger need degree counts
+/// before placement and stay graph-fed.
+pub trait StreamPartitioner: Partitioner {
+    /// Partition `edges` (over vertices `0..num_vertices`) across
+    /// `weights.len()` machines in one pass.
+    ///
+    /// # Panics
+    /// Panics if `weights.len()` exceeds the 64-machine bitmask capacity
+    /// or an edge references a vertex `>= num_vertices`.
+    fn partition_stream(
+        &self,
+        num_vertices: u32,
+        weights: &MachineWeights,
+        edges: &mut dyn Iterator<Item = Edge>,
+    ) -> PartitionAssignment;
+}
+
 /// The five algorithms evaluated in the paper, as a value type for
 /// iteration in harnesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -194,6 +220,18 @@ impl PartitionerKind {
             PartitionerKind::Grid => Box::new(crate::Grid::new()),
             PartitionerKind::Hybrid => Box::new(crate::Hybrid::new()),
             PartitionerKind::Ginger => Box::new(crate::Ginger::new()),
+        }
+    }
+
+    /// Instantiate as a streaming partitioner, or `None` for the
+    /// algorithms that need the whole graph before placing (Hybrid and
+    /// Ginger count degrees first).
+    pub fn build_stream(self) -> Option<Box<dyn StreamPartitioner>> {
+        match self {
+            PartitionerKind::RandomHash => Some(Box::new(crate::RandomHash::new())),
+            PartitionerKind::Oblivious => Some(Box::new(crate::Oblivious::new())),
+            PartitionerKind::Grid => Some(Box::new(crate::Grid::new())),
+            PartitionerKind::Hybrid | PartitionerKind::Ginger => None,
         }
     }
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Regenerate or verify the committed perf baselines:
 # BENCH_partition.json (partitioner throughput), BENCH_engine.json
-# (superstep-kernel throughput), and BENCH_rebalance.json (static CCR
-# placement vs CCR + mid-run migration under a scripted slowdown).
+# (superstep-kernel throughput), BENCH_rebalance.json (static CCR
+# placement vs CCR + mid-run migration under a scripted slowdown), and
+# BENCH_scale.json (bounded-RSS pipeline: resident bytes/edge and peak
+# RSS for the plain vs compact representations).
 #
 #   scripts/bench.sh            # release build + all experiments at --scale 1
 #   scripts/bench.sh --scale 8  # quicker smoke run (numbers not committed)
@@ -40,8 +42,13 @@ while [ "$#" -gt 0 ]; do
     esac
 done
 
-echo "==> cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine --bin exp_rebalance"
-cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine --bin exp_rebalance
+# exp_scale interprets --scale against its own 500M-edge production-target
+# spec, so it runs at 10x the figure scale: the default scale=1 gives the
+# committed ~50M-edge scale-10 run, and smoke runs shrink proportionally.
+scale_scale=$((scale * 10))
+
+echo "==> cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine --bin exp_rebalance --bin exp_scale"
+cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine --bin exp_rebalance --bin exp_scale
 
 if [ "$check" -eq 1 ]; then
     echo "==> exp_partition --scale $scale --check BENCH_partition.json"
@@ -53,7 +60,12 @@ if [ "$check" -eq 1 ]; then
     echo "==> exp_rebalance --scale $scale --check BENCH_rebalance.json"
     ./target/release/exp_rebalance --scale "$scale" --check BENCH_rebalance.json
     echo
-    echo "bench.sh: checks passed against BENCH_partition.json, BENCH_engine.json, and BENCH_rebalance.json"
+    # The memory gate: re-runs the scale pipeline at the committed
+    # baseline's own scale and fails on RSS-per-edge regressions.
+    echo "==> exp_scale --scale $scale_scale --check BENCH_scale.json"
+    ./target/release/exp_scale --scale "$scale_scale" --check BENCH_scale.json
+    echo
+    echo "bench.sh: checks passed against BENCH_partition.json, BENCH_engine.json, BENCH_rebalance.json, and BENCH_scale.json"
 else
     echo "==> exp_partition --scale $scale --out ."
     ./target/release/exp_partition --scale "$scale" --out .
@@ -64,5 +76,8 @@ else
     echo "==> exp_rebalance --scale $scale --out ."
     ./target/release/exp_rebalance --scale "$scale" --out .
     echo
-    echo "bench.sh: wrote BENCH_partition.json, BENCH_engine.json, and BENCH_rebalance.json (scale $scale)"
+    echo "==> exp_scale --scale $scale_scale --out ."
+    ./target/release/exp_scale --scale "$scale_scale" --out .
+    echo
+    echo "bench.sh: wrote BENCH_partition.json, BENCH_engine.json, BENCH_rebalance.json, and BENCH_scale.json (scale $scale)"
 fi

@@ -1,7 +1,8 @@
 //! Property-based tests on the core invariants of the whole stack.
 
 use hetgraph::core::rng::Xoshiro256;
-use hetgraph::core::{io, Edge, EdgeList, Graph};
+use hetgraph::core::transform::{degree_sort_permutation, relabel};
+use hetgraph::core::{io, CompactCsr, Csr, Edge, EdgeList, Graph, GraphMeta};
 use hetgraph::engine::Direction;
 use hetgraph::prelude::*;
 use proptest::prelude::*;
@@ -46,7 +47,7 @@ impl GasProgram for HalfRank {
         PageRank::standard_profile()
     }
 
-    fn init(&self, _graph: &Graph, v: VertexId) -> f64 {
+    fn init(&self, _graph: &GraphMeta<'_>, v: VertexId) -> f64 {
         f64::from(v % 7) + 1.0
     }
 
@@ -56,7 +57,7 @@ impl GasProgram for HalfRank {
 
     fn gather(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         data: &[f64],
         _v: VertexId,
         u: VertexId,
@@ -68,7 +69,7 @@ impl GasProgram for HalfRank {
         self.by_source
     }
 
-    fn source_gather(&self, _graph: &Graph, data: &[f64], u: VertexId) -> f64 {
+    fn source_gather(&self, _graph: &GraphMeta<'_>, data: &[f64], u: VertexId) -> f64 {
         data[u as usize] * 0.5
     }
 
@@ -78,7 +79,7 @@ impl GasProgram for HalfRank {
 
     fn apply(
         &self,
-        _graph: &Graph,
+        _graph: &GraphMeta<'_>,
         _v: VertexId,
         _old: &f64,
         acc: Option<f64>,
@@ -94,6 +95,37 @@ impl GasProgram for HalfRank {
     fn max_supersteps(&self) -> usize {
         self.iters
     }
+}
+
+/// Assert one direction of [`CompactCsr`] is equivalent to its plain
+/// [`Csr`]: same edge count, same per-vertex degrees, rows decode to the
+/// sorted plain rows (both via the materializing decoder and the cursor),
+/// and edge ranges tile `0..num_edges` in vertex order.
+fn assert_compact_matches_plain(csr: &Csr, dir: &str) -> Result<(), proptest::TestCaseError> {
+    let compact = CompactCsr::from_csr(csr);
+    prop_assert_eq!(compact.num_vertices(), csr.num_vertices());
+    prop_assert_eq!(compact.num_edges(), csr.num_edges());
+    let mut cursor = 0usize;
+    let mut row = Vec::new();
+    for v in 0..csr.num_vertices() {
+        prop_assert!(
+            compact.degree(v) == csr.degree(v),
+            "{} degree of {} diverged",
+            dir,
+            v
+        );
+        let (lo, hi) = compact.edge_range(v);
+        prop_assert!(lo == cursor, "{} edge range of {} does not tile", dir, v);
+        cursor = hi;
+        let mut plain = csr.neighbors(v).to_vec();
+        plain.sort_unstable();
+        compact.decode_row_into(v, &mut row);
+        prop_assert!(row == plain, "{} decoded row of {} diverged", dir, v);
+        let iterated: Vec<VertexId> = compact.neighbors(v).collect();
+        prop_assert!(iterated == plain, "{} cursor row of {} diverged", dir, v);
+    }
+    prop_assert_eq!(cursor, compact.num_edges());
+    Ok(())
 }
 
 proptest! {
@@ -451,6 +483,66 @@ proptest! {
                     prop_assert!(&out.data == ref_data, "data diverged at {} threads", threads);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn compact_csr_matches_plain_csr_on_random_graphs(g in arb_graph()) {
+        // Both adjacency directions of the delta-varint representation
+        // must be loss-free against the plain CSR they were built from.
+        assert_compact_matches_plain(g.out_csr(), "out")?;
+        assert_compact_matches_plain(g.in_csr(), "in")?;
+    }
+
+    #[test]
+    fn compact_csr_matches_plain_csr_on_powerlaw_graphs(
+        alpha in 1.9f64..2.6,
+        seed in any::<u64>(),
+    ) {
+        // The skewed-degree regime the compression is designed for: hub
+        // rows with thousands of small gaps and a long tail of tiny rows.
+        let g = PowerLawConfig::new(2_000, alpha).generate(seed);
+        assert_compact_matches_plain(g.out_csr(), "out")?;
+        assert_compact_matches_plain(g.in_csr(), "in")?;
+    }
+
+    #[test]
+    fn degree_renumbering_is_a_bijection_preserving_results(g in arb_graph()) {
+        // The degree-sorted renumbering pass must be a permutation of the
+        // id space that only relabels: adjacency maps through it exactly,
+        // and engine results are the original's composed with the inverse
+        // permutation. (The SimReport's timing side depends on placement,
+        // which hashes ids, so the structural quantities — superstep count
+        // and per-vertex data — are the preserved ones.)
+        let perm = degree_sort_permutation(&g);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..g.num_vertices()).collect::<Vec<_>>());
+        let r = relabel(&g, &perm);
+        prop_assert_eq!(r.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            let mut mapped: Vec<VertexId> =
+                g.out_neighbors(v).iter().map(|&u| perm[u as usize]).collect();
+            mapped.sort_unstable();
+            let mut relabeled = r.out_neighbors(perm[v as usize]).to_vec();
+            relabeled.sort_unstable();
+            prop_assert!(mapped == relabeled, "out row of {} diverged", v);
+        }
+        // A structure-determined app (k-core peeling ignores ids): data
+        // must satisfy new[perm[v]] == old[v] bit-for-bit, and the peel
+        // takes the same number of supersteps.
+        let cluster = Cluster::case2();
+        let engine = SimEngine::new(&cluster);
+        let weights = MachineWeights::uniform(2);
+        let old = engine.run(&g, &RandomHash::new().partition(&g, &weights), &KCore::new(2));
+        let new = engine.run(&r, &RandomHash::new().partition(&r, &weights), &KCore::new(2));
+        prop_assert_eq!(old.report.supersteps, new.report.supersteps);
+        for v in g.vertices() {
+            prop_assert!(
+                old.data[v as usize] == new.data[perm[v as usize] as usize],
+                "data of {} diverged",
+                v
+            );
         }
     }
 
