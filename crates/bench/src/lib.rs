@@ -25,6 +25,7 @@
 //! | [`engine_bench::engine`] | superstep-kernel perf baseline (`BENCH_engine.json`) |
 //! | [`rebalance_bench::rebalance`] | static-vs-migration baseline (`BENCH_rebalance.json`) |
 //! | [`scale_bench::scale`] | bounded-RSS scale run (`BENCH_scale.json`) |
+//! | [`serve_bench::serve`] | query-serving baseline (`BENCH_serve.json`) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,6 +42,7 @@ pub mod partition_bench;
 pub mod policy;
 pub mod rebalance_bench;
 pub mod scale_bench;
+pub mod serve_bench;
 pub mod tables;
 
 pub use context::ExperimentContext;

@@ -562,38 +562,62 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
             .join(", ")
     );
     println!("compute imbalance: {:.3}", report.compute_imbalance());
-    if let Some(path) = flags.get("trace-out") {
-        let events = tracer.take_events();
-        let text = if path.ends_with(".jsonl") {
-            hetgraph_core::obs::to_jsonl(&events)
-        } else {
-            hetgraph_core::obs::chrome_trace_sim(&events)
-        };
-        std::fs::write(path, &text).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
-        println!(
-            "trace: {} events recorded, wrote {path} (open in chrome://tracing or ui.perfetto.dev)",
-            events.len()
-        );
-    }
-    if let Some(path) = flags.get("metrics-out") {
-        let snapshot = if path.contains(".full.") {
-            metrics.snapshot()
-        } else {
-            metrics.snapshot_sim()
-        };
-        let text = if path.ends_with(".prom") {
-            snapshot.to_prometheus()
-        } else {
-            snapshot.to_json()
-        };
-        std::fs::write(path, &text).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
-        println!(
-            "metrics: {} counters, {} gauges, {} histograms, wrote {path}",
-            snapshot.counters.len(),
-            snapshot.gauges.len(),
-            snapshot.histograms.len()
-        );
-    }
+    write_trace_out(&flags, &tracer)?;
+    write_metrics_out(&flags, metrics)?;
+    Ok(())
+}
+
+/// Honor `--trace-out FILE`: drain `tracer` and write JSON-lines
+/// (`.jsonl`) or Chrome trace_event JSON (anything else). No-op when the
+/// flag is absent.
+fn write_trace_out(
+    flags: &Flags,
+    tracer: &hetgraph_core::obs::TraceRecorder,
+) -> Result<(), CliError> {
+    let Some(path) = flags.get("trace-out") else {
+        return Ok(());
+    };
+    let events = tracer.take_events();
+    let text = if path.ends_with(".jsonl") {
+        hetgraph_core::obs::to_jsonl(&events)
+    } else {
+        hetgraph_core::obs::chrome_trace_sim(&events)
+    };
+    std::fs::write(path, &text).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    println!(
+        "trace: {} events recorded, wrote {path} (open in chrome://tracing or ui.perfetto.dev)",
+        events.len()
+    );
+    Ok(())
+}
+
+/// Honor `--metrics-out FILE`: snapshot `metrics` (sim-domain only
+/// unless the name has `.full.`) as Prometheus text (`.prom`) or JSON.
+/// No-op when the flag is absent.
+fn write_metrics_out(
+    flags: &Flags,
+    metrics: &hetgraph_core::metrics::MetricsRegistry,
+) -> Result<(), CliError> {
+    let Some(path) = flags.get("metrics-out") else {
+        return Ok(());
+    };
+    let snapshot = if path.contains(".full.") {
+        metrics.snapshot()
+    } else {
+        metrics.snapshot_sim()
+    };
+    let text = if path.ends_with(".prom") {
+        snapshot.to_prometheus()
+    } else {
+        snapshot.to_json()
+    };
+    std::fs::write(path, &text).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    println!(
+        "metrics: {} counters, {} gauges, {} histograms, wrote {path}",
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.histograms.len()
+    );
     Ok(())
 }
 
@@ -678,6 +702,161 @@ pub fn submit(args: &[String]) -> Result<(), CliError> {
         "compute imbalance: {:.3}",
         result.report.compute_imbalance()
     );
+    Ok(())
+}
+
+/// `hetgraph serve` — run an open-loop query-serving scenario over one
+/// shared partitioned graph.
+///
+/// A seeded load generator offers `--requests` mixed queries (per-source
+/// SSSP reachability, personalized-PageRank seeds, k-core membership)
+/// from `--tenants` tenants; the serving loop admits them against
+/// bounded per-tenant queues (`--queue-budget`, shed on overflow),
+/// merges compatible queries into multi-source superstep waves (up to
+/// `--max-batch` per wave, `--batch-window` seconds of idle batching
+/// delay), and schedules lanes by weighted fair queueing (`--weights`).
+/// All times are simulated; the summary is byte-identical at any
+/// `--threads`. `--trace-out`/`--metrics-out` work as in `simulate`, and
+/// a serve trace feeds `hetgraph report` directly.
+pub fn serve(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "input",
+            "cluster",
+            "algorithm",
+            "requests",
+            "tenants",
+            "weights",
+            "batch-window",
+            "queue-budget",
+            "max-batch",
+            "mean-gap",
+            "ppr-iters",
+            "vertices",
+            "seed",
+            "threads",
+            "trace-out",
+            "metrics-out",
+        ],
+    )?;
+    let cluster = parse_cluster(flags.get("cluster").unwrap_or("case2"))?;
+    let kind = parse_partitioner(flags.get("algorithm").unwrap_or("hybrid"))?;
+    let threads = parse_threads(&flags)?;
+    let requests: usize = flags.get_or("requests", 2000usize)?;
+    let tenants: usize = flags.get_or("tenants", 2usize)?;
+    if requests == 0 || tenants == 0 {
+        return Err(CliError("--requests and --tenants must be positive".into()));
+    }
+    let seed: u64 = flags.get_or("seed", 42u64)?;
+    let tenant_weights: Vec<u32> = match flags.get("weights") {
+        None => vec![1; tenants],
+        Some(list) => {
+            let parsed: Result<Vec<u32>, _> =
+                list.split(',').map(|w| w.trim().parse::<u32>()).collect();
+            let parsed = parsed
+                .map_err(|e| CliError(format!("--weights must be a comma list of u32: {e}")))?;
+            if parsed.len() != tenants {
+                return Err(CliError(format!(
+                    "--weights has {} entries for {tenants} tenants",
+                    parsed.len()
+                )));
+            }
+            parsed
+        }
+    };
+
+    // Shared graph: a file, or a synthetic power-law fixture.
+    let graph = match flags.get("input") {
+        Some(path) => load_graph(path)?,
+        None => {
+            let n: u32 = flags.get_or("vertices", 10_000u32)?;
+            if n == 0 {
+                return Err(CliError("--vertices must be positive".into()));
+            }
+            PowerLawConfig::new(n, 2.1).generate(seed)
+        }
+    };
+
+    let tracer = hetgraph_core::obs::TraceRecorder::new();
+    let recorder: &dyn hetgraph_core::obs::Recorder = if flags.get("trace-out").is_some() {
+        &tracer
+    } else {
+        &hetgraph_core::obs::NOOP
+    };
+    let live_metrics = hetgraph_core::metrics::MetricsRegistry::new();
+    let metrics: &hetgraph_core::metrics::MetricsRegistry = if flags.get("metrics-out").is_some() {
+        &live_metrics
+    } else {
+        &hetgraph_core::metrics::NOOP
+    };
+
+    // Thread-count machine weights: heterogeneity-aware without a
+    // profiling pass (the service would amortize profiling, but the CLI
+    // entry point should start serving immediately).
+    let weights = MachineWeights::from_thread_counts(&cluster);
+    let assignment = kind
+        .build()
+        .partition_instrumented(&graph, &weights, threads, recorder, metrics);
+    let dist = hetgraph_engine::DistributedGraph::new_with_threads(&graph, &assignment, threads)
+        .map_err(|e| CliError(format!("cannot build distributed graph: {e}")))?;
+
+    let mut load = hetgraph_serve::LoadGenConfig::standard(
+        seed,
+        requests,
+        flags.get_or("mean-gap", 0.005f64)?,
+    );
+    load.tenant_shares = vec![1; tenants];
+    let stream = load.generate(graph.num_vertices());
+
+    let cfg = hetgraph_serve::ServeConfig {
+        batch_window_s: flags.get_or("batch-window", 0.05f64)?,
+        max_batch: flags.get_or("max-batch", 16usize)?,
+        queue_budget: flags.get_or("queue-budget", 64usize)?,
+        tenant_weights,
+        ppr_iterations: flags.get_or("ppr-iters", 10usize)?,
+        threads,
+    };
+    if cfg.batch_window_s < 0.0 || cfg.max_batch == 0 || cfg.queue_budget == 0 {
+        return Err(CliError(
+            "--batch-window must be >= 0; --max-batch and --queue-budget must be positive".into(),
+        ));
+    }
+
+    let report = hetgraph_serve::Server::new(&cluster)
+        .with_recorder(recorder)
+        .with_metrics(metrics)
+        .serve(&dist, &cfg, &stream);
+
+    println!(
+        "serve: {} requests offered, {} served, {} shed, {} waves over {:.3}s simulated",
+        requests,
+        report.served(),
+        report.shed.len(),
+        report.waves.len(),
+        report.sim_duration_s
+    );
+    println!(
+        "latency: p50 {:.4}s  p99 {:.4}s  mean {:.4}s   throughput {:.1} req/s",
+        report.latency_quantile_s(0.50).unwrap_or(0.0),
+        report.latency_quantile_s(0.99).unwrap_or(0.0),
+        report.mean_latency_s().unwrap_or(0.0),
+        report.throughput_rps()
+    );
+    for (t, (&served, &shed)) in report
+        .per_tenant_served
+        .iter()
+        .zip(&report.per_tenant_shed)
+        .enumerate()
+    {
+        println!("tenant {t}: served {served}, shed {shed}");
+    }
+    println!(
+        "batch composition digest: {:016x}",
+        report.composition_digest
+    );
+    write_trace_out(&flags, &tracer)?;
+    write_metrics_out(&flags, metrics)?;
     Ok(())
 }
 
@@ -1221,5 +1400,103 @@ mod tests {
     #[test]
     fn alpha_from_counts() {
         alpha(&argv(&["--vertices", "403394", "--edges", "3387388"])).unwrap();
+    }
+
+    #[test]
+    fn serve_runs_with_defaults_scaled_down() {
+        serve(&argv(&[
+            "--requests",
+            "60",
+            "--tenants",
+            "2",
+            "--vertices",
+            "500",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        let err = serve(&argv(&["--requests", "0"])).unwrap_err();
+        assert!(err.0.contains("--requests"), "{err:?}");
+        let err = serve(&argv(&[
+            "--requests",
+            "10",
+            "--tenants",
+            "3",
+            "--weights",
+            "1,2",
+            "--vertices",
+            "100",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("entries"), "{err:?}");
+        let err = serve(&argv(&[
+            "--requests",
+            "10",
+            "--vertices",
+            "100",
+            "--max-batch",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("--max-batch"), "{err:?}");
+    }
+
+    #[test]
+    fn serve_trace_and_metrics_are_byte_identical_across_thread_counts() {
+        // `.json` trace output is the sim-domain Chrome trace; like
+        // `simulate`, it must not depend on host threading.
+        let out = |threads: &str, tag: &str| {
+            let trace = tmp(&format!("serve_{tag}.json"));
+            let metrics = tmp(&format!("serve_m_{tag}.json"));
+            serve(&argv(&[
+                "--requests",
+                "40",
+                "--tenants",
+                "2",
+                "--vertices",
+                "400",
+                "--threads",
+                threads,
+                "--trace-out",
+                &trace,
+                "--metrics-out",
+                &metrics,
+            ]))
+            .unwrap();
+            (
+                std::fs::read_to_string(trace).unwrap(),
+                std::fs::read_to_string(metrics).unwrap(),
+            )
+        };
+        let (trace1, metrics1) = out("1", "t1");
+        let (trace4, metrics4) = out("4", "t4");
+        assert_eq!(trace1, trace4, "serve trace must not depend on threads");
+        assert_eq!(
+            metrics1, metrics4,
+            "serve metrics must not depend on threads"
+        );
+        assert!(trace1.contains("wave/"), "serve spans must reach the trace");
+        assert!(metrics1.contains("serve/queue_depth"));
+    }
+
+    #[test]
+    fn serve_jsonl_trace_feeds_the_offline_report() {
+        let trace = tmp("serve_report.jsonl");
+        serve(&argv(&[
+            "--requests",
+            "30",
+            "--vertices",
+            "400",
+            "--trace-out",
+            &trace,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let analysis = hetgraph_engine::TraceAnalysis::from_jsonl(&text).unwrap();
+        assert!(!analysis.render(3, None).is_empty());
     }
 }

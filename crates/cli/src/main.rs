@@ -7,6 +7,7 @@
 //! hetgraph partition --input FILE --machines K [--algorithm NAME] [--weights a,b,...]
 //! hetgraph profile   [--cluster case1|case2|case3] [--scale N] [--apps LIST]
 //! hetgraph simulate  --input FILE|SHARD_DIR [--compact] [--cluster C] [--app A] [--algorithm P] [--policy default|prior|ccr] [--rebalance greedy|off] [--trace-out FILE] [--metrics-out FILE]
+//! hetgraph serve     [--requests N] [--tenants K] [--batch-window W] [--queue-budget B] [--max-batch M] [--weights a,b,...] [--input FILE | --vertices N] [--trace-out FILE] [--metrics-out FILE]
 //! hetgraph report    --trace FILE.jsonl [--metrics FILE.json] [--top K]
 //! hetgraph submit    --input FILE [--cluster C] [--app A] [--algorithm P] [--policy ...] [--threads N]
 //! ```
@@ -54,6 +55,17 @@ commands:
              [--metrics-out FILE]  aggregated metrics snapshot (.prom =
              Prometheus text exposition, else JSON); sim-domain only —
              byte-identical at any --threads — unless the name has .full.
+  serve      serve an open-loop stream of graph queries (per-source SSSP,
+             personalized PageRank, k-core membership) over one shared
+             partitioned graph, with batched multi-source waves,
+             admission control, and weighted fair scheduling
+             [--requests N] [--tenants K] [--batch-window W]
+             [--queue-budget B] [--max-batch M] [--weights a,b,...]
+             [--mean-gap S] [--ppr-iters I] [--seed S] [--threads N]
+             [--input FILE | --vertices N] [--cluster C] [--algorithm P]
+             [--trace-out FILE] [--metrics-out FILE]
+             all times simulated; the summary is byte-identical at any
+             --threads
   report     offline straggler report from an exported trace
              --trace FILE.jsonl  [--metrics FILE.json]  [--top K]
              prints per-machine barrier waits, top-K straggler supersteps,
@@ -82,6 +94,7 @@ fn main() {
         "partition" => commands::partition(rest),
         "profile" => commands::profile(rest),
         "simulate" => commands::simulate(rest),
+        "serve" => commands::serve(rest),
         "report" => commands::report(rest),
         "submit" => commands::submit(rest),
         "help" | "--help" | "-h" => {

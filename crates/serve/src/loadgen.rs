@@ -1,0 +1,184 @@
+//! Deterministic open-loop load generator.
+//!
+//! Arrivals are generated in *simulated* time from a seeded
+//! [`SplitMix64`] stream: inter-arrival gaps are uniform on
+//! `[0, 2·mean)` (mean-preserving jitter — deliberately transcendental-
+//! free so the schedule is bit-reproducible on any host), tenants and
+//! query classes are picked by integer weighted draws, and sources/seeds
+//! are uniform vertices. Open-loop means arrivals never react to
+//! service times: under overload the queue genuinely builds, which is
+//! what exercises admission control and fair scheduling.
+
+use crate::request::{QueryKind, Request};
+use hetgraph_core::SplitMix64;
+
+/// Configuration of one synthetic request stream.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LoadGenConfig {
+    /// RNG seed; same seed + same config = identical stream.
+    pub seed: u64,
+    /// Total requests to generate.
+    pub requests: usize,
+    /// Mean inter-arrival gap, simulated seconds.
+    pub mean_interarrival_s: f64,
+    /// Per-tenant offered-load shares (integer weights; tenant count is
+    /// the vector length).
+    pub tenant_shares: Vec<u32>,
+    /// Relative share of SSSP queries in the mix.
+    pub sssp_share: u32,
+    /// Relative share of personalized-PageRank queries.
+    pub ppr_share: u32,
+    /// Relative share of k-core membership queries.
+    pub kcore_share: u32,
+    /// Candidate `k` values for k-core queries (picked uniformly).
+    pub kcore_ks: Vec<u32>,
+}
+
+impl LoadGenConfig {
+    /// A balanced two-tenant mixed workload at the given arrival rate.
+    pub fn standard(seed: u64, requests: usize, mean_interarrival_s: f64) -> Self {
+        LoadGenConfig {
+            seed,
+            requests,
+            mean_interarrival_s,
+            tenant_shares: vec![1, 1],
+            sssp_share: 6,
+            ppr_share: 3,
+            kcore_share: 1,
+            kcore_ks: vec![2, 3],
+        }
+    }
+
+    /// Number of tenants in the stream.
+    pub fn tenants(&self) -> usize {
+        self.tenant_shares.len()
+    }
+
+    /// Generate the request stream for a graph of `num_vertices`
+    /// vertices, sorted by arrival time with ids in arrival order.
+    ///
+    /// # Panics
+    /// Panics on an empty tenant/share configuration, a graph with no
+    /// vertices, or a non-positive mean gap.
+    pub fn generate(&self, num_vertices: u32) -> Vec<Request> {
+        assert!(num_vertices > 0, "graph has no vertices");
+        assert!(
+            self.mean_interarrival_s > 0.0,
+            "mean inter-arrival must be positive"
+        );
+        assert!(
+            !self.tenant_shares.is_empty() && self.tenant_shares.iter().any(|&s| s > 0),
+            "need at least one tenant with positive share"
+        );
+        let class_total = self.sssp_share + self.ppr_share + self.kcore_share;
+        assert!(class_total > 0, "query mix is empty");
+        assert!(
+            self.kcore_share == 0 || !self.kcore_ks.is_empty(),
+            "k-core share needs candidate k values"
+        );
+
+        let mut rng = SplitMix64::new(self.seed);
+        let mut now = 0.0f64;
+        let mut requests = Vec::with_capacity(self.requests);
+        for id in 0..self.requests as u64 {
+            now += 2.0 * self.mean_interarrival_s * rng.next_f64();
+            let tenant = weighted_pick(&mut rng, &self.tenant_shares);
+            let class_roll = (rng.next_u64() % u64::from(class_total)) as u32;
+            let vertex = (rng.next_u64() % u64::from(num_vertices)) as u32;
+            let kind = if class_roll < self.sssp_share {
+                QueryKind::Sssp { source: vertex }
+            } else if class_roll < self.sssp_share + self.ppr_share {
+                QueryKind::Ppr { seed: vertex }
+            } else {
+                let k = self.kcore_ks[(rng.next_u64() % self.kcore_ks.len() as u64) as usize];
+                QueryKind::KCoreMember { k, vertex }
+            };
+            requests.push(Request {
+                id,
+                tenant,
+                kind,
+                arrival_s: now,
+            });
+        }
+        requests
+    }
+}
+
+/// Integer weighted draw over `shares` (sum must fit u64 and be > 0).
+fn weighted_pick(rng: &mut SplitMix64, shares: &[u32]) -> usize {
+    let total: u64 = shares.iter().map(|&s| u64::from(s)).sum();
+    let mut roll = rng.next_u64() % total;
+    for (i, &s) in shares.iter().enumerate() {
+        let s = u64::from(s);
+        if roll < s {
+            return i;
+        }
+        roll -= s;
+    }
+    unreachable!("roll below total implies a hit")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_reproduces_the_stream() {
+        let cfg = LoadGenConfig::standard(7, 500, 0.01);
+        assert_eq!(cfg.generate(1000), cfg.generate(1000));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LoadGenConfig::standard(1, 200, 0.01).generate(1000);
+        let b = LoadGenConfig::standard(2, 200, 0.01).generate(1000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_with_sequential_ids() {
+        let stream = LoadGenConfig::standard(42, 300, 0.02).generate(500);
+        assert_eq!(stream.len(), 300);
+        for (i, pair) in stream.windows(2).enumerate() {
+            assert!(pair[0].arrival_s <= pair[1].arrival_s, "at {i}");
+        }
+        for (i, r) in stream.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn mean_gap_lands_near_the_target() {
+        let cfg = LoadGenConfig::standard(9, 4000, 0.01);
+        let stream = cfg.generate(1000);
+        let span = stream.last().unwrap().arrival_s;
+        let mean = span / stream.len() as f64;
+        assert!((mean - 0.01).abs() < 0.001, "observed mean gap {mean}");
+    }
+
+    #[test]
+    fn shares_steer_tenants_and_classes() {
+        let mut cfg = LoadGenConfig::standard(3, 3000, 0.01);
+        cfg.tenant_shares = vec![9, 1];
+        let stream = cfg.generate(1000);
+        let t0 = stream.iter().filter(|r| r.tenant == 0).count();
+        assert!(t0 > 2400, "9:1 shares gave tenant 0 only {t0}/3000");
+        let sssp = stream
+            .iter()
+            .filter(|r| matches!(r.kind, QueryKind::Sssp { .. }))
+            .count();
+        let kcore = stream
+            .iter()
+            .filter(|r| matches!(r.kind, QueryKind::KCoreMember { .. }))
+            .count();
+        assert!(
+            sssp > kcore,
+            "mix shares ignored: {sssp} sssp vs {kcore} kcore"
+        );
+        // Every k-core query uses a configured k.
+        assert!(stream.iter().all(|r| match r.kind {
+            QueryKind::KCoreMember { k, .. } => cfg.kcore_ks.contains(&k),
+            _ => true,
+        }));
+    }
+}

@@ -1,0 +1,370 @@
+//! Multi-source lane programs: one superstep wave answers a whole batch.
+//!
+//! Both programs widen a scalar per-vertex state into a small vector with
+//! one *lane* per batched source, folded through the existing gather path
+//! — the kernel is untouched, so a wave inherits its chunk-ordered merge
+//! and stays byte-identical at any host thread count.
+//!
+//! # Per-lane identity contract
+//!
+//! A lane inside an `L`-lane batch produces **bitwise-identical** final
+//! data to running that lane alone. The active frontier of a batch is the
+//! *union* of the per-lane frontiers, so a vertex can be activated by one
+//! lane while another lane's state there is already settled — the
+//! contract holds because for both programs an *extra* activation is a
+//! no-op:
+//!
+//! - a vertex `v` is re-activated only when some in-neighbor `u` changed
+//!   in the previous superstep. If `u`'s *lane-ℓ* value did not change,
+//!   lane ℓ's gather at `v` sees exactly the inputs it saw when `v` was
+//!   last applied, and apply is a pure function of those inputs (SSSP's
+//!   `min` is additionally idempotent against the old value), so lane ℓ's
+//!   value is recomputed unchanged;
+//! - if `u`'s lane-ℓ value *did* change, then in the solo lane-ℓ run `u`
+//!   also changed and scattered, so `v` is active there too.
+//!
+//! By induction per superstep, each lane's data evolves exactly as in its
+//! solo run (the solo run may converge and stop earlier; its data is
+//! frozen from that point, and the batch recomputes it unchanged). The
+//! proptest suite pins this end to end across partitioners and thread
+//! counts.
+
+use hetgraph_apps::pagerank::DAMPING;
+use hetgraph_apps::{PageRank, Sssp};
+use hetgraph_cluster::AppProfile;
+use hetgraph_core::{GraphMeta, VertexId};
+use hetgraph_engine::{ActiveInit, Direction, GasProgram};
+
+/// Distance value for unreachable vertices (shared with the solo
+/// [`Sssp`] program so lane extraction is directly comparable).
+pub const UNREACHABLE: u32 = hetgraph_apps::sssp::UNREACHABLE;
+
+/// Multi-source unit-weight SSSP: lane ℓ computes distances from
+/// `sources[ℓ]`.
+///
+/// Per-edge gather work scales with the lane count (`L` work units per
+/// visited edge), so the simulated cost of a wave honestly reflects the
+/// widened state; the batching win comes from sharing supersteps,
+/// barriers, and per-vertex overheads across lanes, not from free edges.
+#[derive(Debug, Clone)]
+pub struct MultiSssp {
+    sources: Vec<VertexId>,
+    /// `sources`, sorted for the kick-off membership test in `apply`.
+    sorted: Vec<VertexId>,
+}
+
+impl MultiSssp {
+    /// Lanes from `sources`, in the given lane order.
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty.
+    pub fn new(sources: Vec<VertexId>) -> Self {
+        assert!(!sources.is_empty(), "MultiSssp needs at least one source");
+        let mut sorted = sources.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        MultiSssp { sources, sorted }
+    }
+
+    /// The lane sources, in lane order.
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+
+    /// Lane count.
+    pub fn lanes(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+impl GasProgram for MultiSssp {
+    type VertexData = Vec<u32>;
+    type Accum = Vec<u32>;
+
+    fn name(&self) -> &'static str {
+        "multi_sssp"
+    }
+
+    fn profile(&self) -> AppProfile {
+        AppProfile {
+            name: "multi_sssp".into(),
+            ..Sssp::standard_profile()
+        }
+    }
+
+    fn init(&self, _graph: &GraphMeta<'_>, v: VertexId) -> Vec<u32> {
+        self.sources
+            .iter()
+            .map(|&s| if v == s { 0 } else { UNREACHABLE })
+            .collect()
+    }
+
+    fn gather_direction(&self) -> Direction {
+        Direction::In
+    }
+
+    fn gather(
+        &self,
+        _graph: &GraphMeta<'_>,
+        data: &[Vec<u32>],
+        _v: VertexId,
+        u: VertexId,
+    ) -> (Option<Vec<u32>>, f64) {
+        let from = &data[u as usize];
+        let work = self.sources.len() as f64;
+        if from.iter().all(|&d| d == UNREACHABLE) {
+            return (None, work);
+        }
+        let candidate: Vec<u32> = from
+            .iter()
+            .map(|&d| if d == UNREACHABLE { UNREACHABLE } else { d + 1 })
+            .collect();
+        (Some(candidate), work)
+    }
+
+    fn sum(&self, a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
+        a.iter().zip(&b).map(|(&x, &y)| x.min(y)).collect()
+    }
+
+    fn apply(
+        &self,
+        _graph: &GraphMeta<'_>,
+        v: VertexId,
+        old: &Vec<u32>,
+        acc: Option<Vec<u32>>,
+        superstep: usize,
+    ) -> (Vec<u32>, bool) {
+        let new: Vec<u32> = match &acc {
+            Some(a) => old.iter().zip(a).map(|(&o, &c)| o.min(c)).collect(),
+            None => old.clone(),
+        };
+        let improved = new.iter().zip(old).any(|(&n, &o)| n < o);
+        // Every source must fire its first scatter even though its own
+        // distance does not change in superstep 0 (same kick-off rule as
+        // the solo program).
+        let kick_off = superstep == 0 && self.sorted.binary_search(&v).is_ok();
+        (new, improved || kick_off)
+    }
+
+    fn scatter_direction(&self) -> Direction {
+        Direction::Out
+    }
+
+    fn initial_active(&self, _graph: &GraphMeta<'_>) -> ActiveInit {
+        ActiveInit::Seeds(self.sources.clone())
+    }
+
+    fn max_supersteps(&self) -> usize {
+        1_000_000
+    }
+}
+
+/// Multi-seed personalized PageRank: lane ℓ runs
+/// `p(v) = (1 − d)·[v = seed_ℓ] + d · Σ_{u → v} p(u) / L(u)` for a fixed
+/// iteration budget, with all teleport mass on the lane's own seed.
+///
+/// Per-edge gather work scales with the lane count, like [`MultiSssp`].
+/// The fixed-iteration, scatter-on-change configuration mirrors the
+/// global [`hetgraph_apps::PageRank`], so the per-lane identity argument
+/// in the module docs applies unchanged (apply is a pure function of the
+/// gathered accumulator).
+#[derive(Debug, Clone)]
+pub struct MultiPpr {
+    seeds: Vec<VertexId>,
+    iterations: usize,
+}
+
+impl MultiPpr {
+    /// Lanes from `seeds`, each run for exactly `iterations` supersteps.
+    ///
+    /// # Panics
+    /// Panics if `seeds` is empty or `iterations` is zero.
+    pub fn new(seeds: Vec<VertexId>, iterations: usize) -> Self {
+        assert!(!seeds.is_empty(), "MultiPpr needs at least one seed");
+        assert!(iterations > 0, "MultiPpr needs at least one iteration");
+        MultiPpr { seeds, iterations }
+    }
+
+    /// The lane seeds, in lane order.
+    pub fn seeds(&self) -> &[VertexId] {
+        &self.seeds
+    }
+
+    /// Lane count.
+    pub fn lanes(&self) -> usize {
+        self.seeds.len()
+    }
+}
+
+impl GasProgram for MultiPpr {
+    type VertexData = Vec<f64>;
+    type Accum = Vec<f64>;
+
+    fn name(&self) -> &'static str {
+        "multi_ppr"
+    }
+
+    fn profile(&self) -> AppProfile {
+        AppProfile {
+            name: "multi_ppr".into(),
+            ..PageRank::standard_profile()
+        }
+    }
+
+    fn init(&self, _graph: &GraphMeta<'_>, v: VertexId) -> Vec<f64> {
+        self.seeds
+            .iter()
+            .map(|&s| if v == s { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    fn gather_direction(&self) -> Direction {
+        Direction::In
+    }
+
+    fn gather(
+        &self,
+        graph: &GraphMeta<'_>,
+        data: &[Vec<f64>],
+        _v: VertexId,
+        u: VertexId,
+    ) -> (Option<Vec<f64>>, f64) {
+        // u is an in-neighbor, so its out-degree is never zero here.
+        let odeg = graph.out_degree(u) as f64;
+        let contribution: Vec<f64> = data[u as usize].iter().map(|&p| p / odeg).collect();
+        (Some(contribution), self.seeds.len() as f64)
+    }
+
+    fn sum(&self, a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+        a.iter().zip(&b).map(|(&x, &y)| x + y).collect()
+    }
+
+    fn apply(
+        &self,
+        _graph: &GraphMeta<'_>,
+        v: VertexId,
+        old: &Vec<f64>,
+        acc: Option<Vec<f64>>,
+        _superstep: usize,
+    ) -> (Vec<f64>, bool) {
+        let new: Vec<f64> = self
+            .seeds
+            .iter()
+            .enumerate()
+            .map(|(lane, &s)| {
+                let gathered = acc.as_ref().map_or(0.0, |a| a[lane]);
+                let teleport = if v == s { 1.0 - DAMPING } else { 0.0 };
+                teleport + DAMPING * gathered
+            })
+            .collect();
+        let changed = new
+            .iter()
+            .zip(old)
+            .any(|(&n, &o)| n.to_bits() != o.to_bits());
+        (new, changed)
+    }
+
+    fn scatter_direction(&self) -> Direction {
+        Direction::Out
+    }
+
+    fn max_supersteps(&self) -> usize {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgraph_cluster::Cluster;
+    use hetgraph_core::{Edge, EdgeList, Graph};
+    use hetgraph_engine::SimEngine;
+    use hetgraph_partition::{MachineWeights, Partitioner, RandomHash};
+
+    fn test_graph() -> Graph {
+        // Two loosely-coupled rings with a bridge, so different sources
+        // have genuinely different reach profiles.
+        let n = 24u32;
+        let mut edges = Vec::new();
+        for v in 0..12u32 {
+            edges.push(Edge::new(v, (v + 1) % 12));
+        }
+        for v in 12..24u32 {
+            edges.push(Edge::new(v, 12 + (v + 1 - 12) % 12));
+        }
+        edges.push(Edge::new(5, 17));
+        Graph::from_edge_list(EdgeList::from_edges(n, edges))
+    }
+
+    fn run<P: GasProgram>(g: &Graph, p: &P) -> Vec<P::VertexData> {
+        let cluster = Cluster::case2();
+        let a = RandomHash::new().partition(g, &MachineWeights::uniform(2));
+        SimEngine::new(&cluster).run(g, &a, p).data
+    }
+
+    #[test]
+    fn multi_sssp_lanes_match_solo_runs() {
+        let g = test_graph();
+        let sources = vec![0u32, 17, 5];
+        let multi = run(&g, &MultiSssp::new(sources.clone()));
+        for (lane, &s) in sources.iter().enumerate() {
+            let solo = run(&g, &Sssp::new(s));
+            for v in 0..g.num_vertices() as usize {
+                assert_eq!(
+                    multi[v][lane], solo[v],
+                    "lane {lane} (source {s}) diverged at vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_ppr_lanes_match_single_lane_runs() {
+        let g = test_graph();
+        let seeds = vec![3u32, 20];
+        let multi = run(&g, &MultiPpr::new(seeds.clone(), 15));
+        for (lane, &s) in seeds.iter().enumerate() {
+            let solo = run(&g, &MultiPpr::new(vec![s], 15));
+            for v in 0..g.num_vertices() as usize {
+                assert_eq!(
+                    multi[v][lane].to_bits(),
+                    solo[v][0].to_bits(),
+                    "lane {lane} (seed {s}) diverged at vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ppr_mass_concentrates_at_the_seed() {
+        let g = test_graph();
+        let data = run(&g, &MultiPpr::new(vec![0], 30));
+        let seed_rank = data[0][0];
+        assert!(
+            data.iter().all(|lanes| lanes[0] <= seed_rank),
+            "seed must hold the maximum personalized rank"
+        );
+        assert!(seed_rank > 0.15, "teleport mass missing: {seed_rank}");
+    }
+
+    #[test]
+    fn duplicate_sources_share_results() {
+        let g = test_graph();
+        let multi = run(&g, &MultiSssp::new(vec![4, 4]));
+        for lanes in &multi {
+            assert_eq!(lanes[0], lanes[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_sources_rejected() {
+        MultiSssp::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        MultiPpr::new(vec![0], 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Bounded tenant queues, admission control, and weighted fair batching.
+//!
+//! The queue is organized per `(tenant, class)`: each tenant owns one
+//! FIFO sub-queue per batching class it has ever submitted to. Admission
+//! control bounds the *per-tenant* total depth (a bursty tenant sheds its
+//! own overflow instead of starving other tenants of queue space), and
+//! batch formation is stride-style weighted fair scheduling: the next
+//! lane always goes to the eligible tenant with the smallest
+//! `served / weight` ratio. Everything here is integer arithmetic over
+//! explicit `Vec`s — no hash-map iteration order, no floats — so batch
+//! composition is deterministic for a given arrival sequence.
+
+use crate::request::{ClassKey, Request, ServeError};
+use std::collections::VecDeque;
+
+/// One batch the scheduler formed: all requests share `class` and are
+/// answered by a single superstep wave.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// The shared batching class.
+    pub class: ClassKey,
+    /// Member requests, in scheduling order (lane order for SSSP/PPR).
+    pub requests: Vec<Request>,
+}
+
+/// Bounded multi-tenant queue with weighted fair batch formation.
+#[derive(Debug)]
+pub struct ServeQueue {
+    /// Tenant scheduling weights (larger = more lanes under contention).
+    weights: Vec<u32>,
+    /// Per-tenant depth budget for admission control.
+    budget: usize,
+    /// First-seen registry of class keys; slot index is shared by every
+    /// tenant so scans iterate a deterministic order.
+    classes: Vec<ClassKey>,
+    /// `lanes[tenant][class_slot]` FIFO sub-queues.
+    lanes: Vec<Vec<VecDeque<Request>>>,
+    /// Per-tenant total queued depth (across classes).
+    depth: Vec<usize>,
+    /// Per-tenant requests handed to batches so far (the WFQ stride).
+    served: Vec<u64>,
+    /// Total requests shed by admission control.
+    shed: u64,
+}
+
+impl ServeQueue {
+    /// An empty queue for `weights.len()` tenants with the given
+    /// per-tenant depth `budget`.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, any weight is zero, or the budget
+    /// is zero.
+    pub fn new(weights: Vec<u32>, budget: usize) -> Self {
+        assert!(!weights.is_empty(), "need at least one tenant");
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "tenant weights must be positive"
+        );
+        assert!(budget > 0, "queue budget must be positive");
+        let tenants = weights.len();
+        ServeQueue {
+            weights,
+            budget,
+            classes: Vec::new(),
+            lanes: vec![Vec::new(); tenants],
+            depth: vec![0; tenants],
+            served: vec![0; tenants],
+            shed: 0,
+        }
+    }
+
+    /// Number of configured tenants.
+    pub fn tenants(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Queued depth of one tenant.
+    pub fn depth(&self, tenant: usize) -> usize {
+        self.depth[tenant]
+    }
+
+    /// Total queued depth across tenants.
+    pub fn total_depth(&self) -> usize {
+        self.depth.iter().sum()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.depth.iter().all(|&d| d == 0)
+    }
+
+    /// Requests shed by admission control so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed
+    }
+
+    /// Per-tenant requests handed to batches so far.
+    pub fn served(&self) -> &[u64] {
+        &self.served
+    }
+
+    /// Slot of `key` in the class registry, allocating on first sight.
+    fn class_slot(&mut self, key: ClassKey) -> usize {
+        if let Some(slot) = self.classes.iter().position(|&c| c == key) {
+            return slot;
+        }
+        self.classes.push(key);
+        for tenant_lanes in &mut self.lanes {
+            tenant_lanes.resize_with(self.classes.len(), VecDeque::new);
+        }
+        self.classes.len() - 1
+    }
+
+    /// Admit `req`, or shed it with a typed error when the tenant's
+    /// queue is at budget. A shed request is never enqueued, so batches
+    /// already formed (and everything still queued) are untouched.
+    pub fn admit(&mut self, req: Request) -> Result<(), ServeError> {
+        let tenant = req.tenant;
+        if tenant >= self.weights.len() {
+            self.shed += 1;
+            return Err(ServeError::UnknownTenant {
+                tenant,
+                tenants: self.weights.len(),
+            });
+        }
+        if self.depth[tenant] >= self.budget {
+            self.shed += 1;
+            return Err(ServeError::QueueFull {
+                tenant,
+                depth: self.depth[tenant],
+                budget: self.budget,
+            });
+        }
+        let slot = self.class_slot(req.kind.class());
+        self.lanes[tenant][slot].push_back(req);
+        self.depth[tenant] += 1;
+        Ok(())
+    }
+
+    /// The class of the globally oldest queued request (every sub-queue
+    /// is FIFO in arrival order, so the oldest request is at some head).
+    fn wave_class(&self) -> Option<(usize, ClassKey)> {
+        let mut best: Option<(u64, usize, ClassKey)> = None;
+        for (slot, &class) in self.classes.iter().enumerate() {
+            for tenant_lanes in &self.lanes {
+                if let Some(head) = tenant_lanes[slot].front() {
+                    if best.is_none_or(|(id, _, _)| head.id < id) {
+                        best = Some((head.id, slot, class));
+                    }
+                }
+            }
+        }
+        best.map(|(_, slot, class)| (slot, class))
+    }
+
+    /// WFQ pick: the eligible tenant minimizing `served / weight`
+    /// (exact integer cross-multiplication; ties break toward the lower
+    /// tenant index).
+    fn pick_tenant(&self, slot: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for t in 0..self.weights.len() {
+            if self.lanes[t][slot].is_empty() {
+                continue;
+            }
+            best = Some(match best {
+                None => t,
+                Some(b) => {
+                    let lhs = u128::from(self.served[t]) * u128::from(self.weights[b]);
+                    let rhs = u128::from(self.served[b]) * u128::from(self.weights[t]);
+                    if lhs < rhs {
+                        t
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// Form the next batch: up to `max_batch` requests of the class of
+    /// the oldest queued request, filled by weighted fair scheduling.
+    /// Returns `None` when the queue is empty.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn next_batch(&mut self, max_batch: usize) -> Option<Batch> {
+        assert!(max_batch > 0, "max_batch must be positive");
+        let (slot, class) = self.wave_class()?;
+        let mut requests = Vec::new();
+        while requests.len() < max_batch {
+            let Some(t) = self.pick_tenant(slot) else {
+                break;
+            };
+            let req = self.lanes[t][slot]
+                .pop_front()
+                .expect("tenant was eligible");
+            self.depth[t] -= 1;
+            self.served[t] += 1;
+            requests.push(req);
+        }
+        debug_assert!(!requests.is_empty(), "wave_class implies a nonempty slot");
+        Some(Batch { class, requests })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::QueryKind;
+
+    fn req(id: u64, tenant: usize, kind: QueryKind) -> Request {
+        Request {
+            id,
+            tenant,
+            kind,
+            arrival_s: id as f64 * 0.001,
+        }
+    }
+
+    fn sssp(id: u64, tenant: usize) -> Request {
+        req(id, tenant, QueryKind::Sssp { source: id as u32 })
+    }
+
+    #[test]
+    fn fifo_within_one_tenant_and_class() {
+        let mut q = ServeQueue::new(vec![1], 16);
+        for id in 0..5 {
+            q.admit(sssp(id, 0)).unwrap();
+        }
+        let batch = q.next_batch(3).unwrap();
+        let ids: Vec<u64> = batch.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, [0, 1, 2]);
+        assert_eq!(q.total_depth(), 2);
+    }
+
+    #[test]
+    fn oldest_request_selects_the_wave_class() {
+        let mut q = ServeQueue::new(vec![1], 16);
+        q.admit(req(0, 0, QueryKind::Ppr { seed: 1 })).unwrap();
+        q.admit(sssp(1, 0)).unwrap();
+        q.admit(req(2, 0, QueryKind::Ppr { seed: 2 })).unwrap();
+        let batch = q.next_batch(8).unwrap();
+        assert_eq!(batch.class, ClassKey::Ppr);
+        assert_eq!(batch.requests.len(), 2, "sssp must not join a ppr wave");
+        assert_eq!(q.next_batch(8).unwrap().class, ClassKey::Sssp);
+    }
+
+    #[test]
+    fn kcore_batches_split_by_k() {
+        let mut q = ServeQueue::new(vec![1], 16);
+        q.admit(req(0, 0, QueryKind::KCoreMember { k: 2, vertex: 0 }))
+            .unwrap();
+        q.admit(req(1, 0, QueryKind::KCoreMember { k: 3, vertex: 1 }))
+            .unwrap();
+        q.admit(req(2, 0, QueryKind::KCoreMember { k: 2, vertex: 2 }))
+            .unwrap();
+        let first = q.next_batch(8).unwrap();
+        assert_eq!(first.class, ClassKey::KCore(2));
+        assert_eq!(first.requests.len(), 2);
+        let second = q.next_batch(8).unwrap();
+        assert_eq!(second.class, ClassKey::KCore(3));
+    }
+
+    #[test]
+    fn weighted_fill_follows_the_stride() {
+        // Weights 3:1 — a full backlog batch of 8 should serve 6 + 2.
+        let mut q = ServeQueue::new(vec![3, 1], 64);
+        for id in 0..14 {
+            q.admit(sssp(id, (id % 2) as usize)).unwrap();
+        }
+        let batch = q.next_batch(8).unwrap();
+        let t0 = batch.requests.iter().filter(|r| r.tenant == 0).count();
+        let t1 = batch.requests.iter().filter(|r| r.tenant == 1).count();
+        assert_eq!((t0, t1), (6, 2), "{batch:?}");
+    }
+
+    #[test]
+    fn queue_full_sheds_with_typed_error() {
+        let mut q = ServeQueue::new(vec![1, 1], 2);
+        q.admit(sssp(0, 0)).unwrap();
+        q.admit(sssp(1, 0)).unwrap();
+        let err = q.admit(sssp(2, 0)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::QueueFull {
+                tenant: 0,
+                depth: 2,
+                budget: 2
+            }
+        );
+        // The budget is per tenant: tenant 1 still has room.
+        q.admit(sssp(3, 1)).unwrap();
+        assert_eq!(q.shed_total(), 1);
+        assert_eq!(q.total_depth(), 3);
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected() {
+        let mut q = ServeQueue::new(vec![1], 4);
+        let err = q.admit(sssp(0, 7)).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownTenant { tenant: 7, .. }));
+    }
+
+    #[test]
+    fn shed_does_not_corrupt_queued_requests() {
+        let mut q = ServeQueue::new(vec![1], 2);
+        q.admit(sssp(0, 0)).unwrap();
+        q.admit(sssp(1, 0)).unwrap();
+        let before_depth = q.total_depth();
+        assert!(q.admit(sssp(2, 0)).is_err());
+        assert_eq!(q.total_depth(), before_depth);
+        let batch = q.next_batch(8).unwrap();
+        let ids: Vec<u64> = batch.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, [0, 1], "shed request must not appear in a batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        ServeQueue::new(vec![1, 0], 4);
+    }
+}

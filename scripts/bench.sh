@@ -2,9 +2,11 @@
 # Regenerate or verify the committed perf baselines:
 # BENCH_partition.json (partitioner throughput), BENCH_engine.json
 # (superstep-kernel throughput), BENCH_rebalance.json (static CCR
-# placement vs CCR + mid-run migration under a scripted slowdown), and
+# placement vs CCR + mid-run migration under a scripted slowdown),
 # BENCH_scale.json (bounded-RSS pipeline: resident bytes/edge and peak
-# RSS for the plain vs compact representations).
+# RSS for the plain vs compact representations), and BENCH_serve.json
+# (query serving: simulated p50/p99 latency, throughput, and the
+# 1/2/4-thread batch-composition digest).
 #
 #   scripts/bench.sh            # release build + all experiments at --scale 1
 #   scripts/bench.sh --scale 8  # quicker smoke run (numbers not committed)
@@ -47,8 +49,8 @@ done
 # committed ~50M-edge scale-10 run, and smoke runs shrink proportionally.
 scale_scale=$((scale * 10))
 
-echo "==> cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine --bin exp_rebalance --bin exp_scale"
-cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine --bin exp_rebalance --bin exp_scale
+echo "==> cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine --bin exp_rebalance --bin exp_scale --bin exp_serve"
+cargo build --release -p hetgraph-bench --bin exp_partition --bin exp_engine --bin exp_rebalance --bin exp_scale --bin exp_serve
 
 if [ "$check" -eq 1 ]; then
     echo "==> exp_partition --scale $scale --check BENCH_partition.json"
@@ -65,7 +67,12 @@ if [ "$check" -eq 1 ]; then
     echo "==> exp_scale --scale $scale_scale --check BENCH_scale.json"
     ./target/release/exp_scale --scale "$scale_scale" --check BENCH_scale.json
     echo
-    echo "bench.sh: checks passed against BENCH_partition.json, BENCH_engine.json, BENCH_rebalance.json, and BENCH_scale.json"
+    # The serving gate: simulated p99 latency, throughput, and the
+    # thread-sweep composition digest against the committed baseline.
+    echo "==> exp_serve --scale $scale --check BENCH_serve.json"
+    ./target/release/exp_serve --scale "$scale" --check BENCH_serve.json
+    echo
+    echo "bench.sh: checks passed against BENCH_partition.json, BENCH_engine.json, BENCH_rebalance.json, BENCH_scale.json, and BENCH_serve.json"
 else
     echo "==> exp_partition --scale $scale --out ."
     ./target/release/exp_partition --scale "$scale" --out .
@@ -79,5 +86,8 @@ else
     echo "==> exp_scale --scale $scale_scale --out ."
     ./target/release/exp_scale --scale "$scale_scale" --out .
     echo
-    echo "bench.sh: wrote BENCH_partition.json, BENCH_engine.json, BENCH_rebalance.json, and BENCH_scale.json (scale $scale)"
+    echo "==> exp_serve --scale $scale --out ."
+    ./target/release/exp_serve --scale "$scale" --out .
+    echo
+    echo "bench.sh: wrote BENCH_partition.json, BENCH_engine.json, BENCH_rebalance.json, BENCH_scale.json, and BENCH_serve.json (scale $scale)"
 fi

@@ -74,7 +74,8 @@ step cargo clippy --workspace --all-targets -- -D warnings
 echo
 echo "check.sh: all gates passed"
 echo "(optional: scripts/bench.sh regenerates BENCH_partition.json,"
-echo " BENCH_engine.json, BENCH_rebalance.json, and BENCH_scale.json"
-echo " when partitioner, engine, rebalancing, or graph-representation"
-echo " hot paths change; scripts/bench.sh --check gates a fresh run"
-echo " against the committed baselines)"
+echo " BENCH_engine.json, BENCH_rebalance.json, BENCH_scale.json, and"
+echo " BENCH_serve.json when partitioner, engine, rebalancing,"
+echo " graph-representation, or serving hot paths change;"
+echo " scripts/bench.sh --check gates a fresh run against the"
+echo " committed baselines)"

@@ -19,6 +19,9 @@
 //! - [`profile`] — proxy profiling, the CCR pool, prior-work estimators and
 //!   accuracy evaluation.
 //! - [`cost`] — cost-per-task and Pareto analysis of cloud machines.
+//! - [`serve`] — the graph-query serving layer: batched multi-source
+//!   superstep waves, bounded-queue admission control, and weighted fair
+//!   scheduling over one shared partitioned graph.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@ pub use hetgraph_engine as engine;
 pub use hetgraph_gen as gen;
 pub use hetgraph_partition as partition;
 pub use hetgraph_profile as profile;
+pub use hetgraph_serve as serve;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

@@ -1,0 +1,235 @@
+//! Integration tests for the query-serving layer: the per-lane identity
+//! contract of merged multi-source waves (across partitioners and host
+//! thread counts), admission-control behavior under overload, and
+//! weighted-fair service under skewed offered load.
+
+use hetgraph::engine::DistributedGraph;
+use hetgraph::prelude::*;
+use hetgraph::serve::{
+    LoadGenConfig, MultiPpr, MultiSssp, QueryKind, Request, ServeConfig, ServeError, ServeQueue,
+    Server,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random directed graph plus SSSP sources and PPR seeds
+/// drawn from its vertex range.
+fn arb_case() -> impl Strategy<Value = (Graph, Vec<VertexId>, Vec<VertexId>)> {
+    (
+        2u32..120,
+        proptest::collection::vec((0u64..10_000, 0u64..10_000), 1..250),
+        proptest::collection::vec(0u64..10_000, 1..4),
+        proptest::collection::vec(0u64..10_000, 1..3),
+    )
+        .prop_map(|(n, pairs, raw_sources, raw_seeds)| {
+            let edges: Vec<Edge> = pairs
+                .into_iter()
+                .map(|(a, b)| Edge::new((a % n as u64) as u32, (b % n as u64) as u32))
+                .collect();
+            let graph = Graph::from_edge_list(EdgeList::from_edges(n, edges));
+            let sources = raw_sources
+                .into_iter()
+                .map(|s| (s % n as u64) as u32)
+                .collect();
+            let seeds = raw_seeds
+                .into_iter()
+                .map(|s| (s % n as u64) as u32)
+                .collect();
+            (graph, sources, seeds)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The batcher's determinism core: each lane of a merged
+    /// multi-source wave is bitwise-identical to running that query
+    /// solo, for every partitioner family and any host thread count.
+    #[test]
+    fn merged_wave_lanes_match_solo_runs((graph, sources, seeds) in arb_case()) {
+        let cluster = Cluster::case2();
+        let engine = SimEngine::new(&cluster);
+        for kind in [
+            PartitionerKind::RandomHash,
+            PartitionerKind::Hybrid,
+            PartitionerKind::Grid,
+        ] {
+            let assignment = kind.build().partition(&graph, &MachineWeights::uniform(2));
+            for threads in [1usize, 2, 4] {
+                let dist = DistributedGraph::new_with_threads(&graph, &assignment, threads)
+                    .expect("assignment covers the graph");
+                let multi = engine
+                    .run_on_with_threads(&dist, &MultiSssp::new(sources.clone()), threads)
+                    .data;
+                for (lane, &s) in sources.iter().enumerate() {
+                    let solo = engine
+                        .run_on_with_threads(&dist, &Sssp::new(s), threads)
+                        .data;
+                    for v in 0..graph.num_vertices() as usize {
+                        prop_assert!(
+                            multi[v][lane] == solo[v],
+                            "sssp lane {} (source {}) diverged at vertex {} \
+                             ({:?}, {} threads)",
+                            lane, s, v, kind, threads
+                        );
+                    }
+                }
+                let multi_ppr = engine
+                    .run_on_with_threads(&dist, &MultiPpr::new(seeds.clone(), 8), threads)
+                    .data;
+                for (lane, &s) in seeds.iter().enumerate() {
+                    let solo = engine
+                        .run_on_with_threads(&dist, &MultiPpr::new(vec![s], 8), threads)
+                        .data;
+                    for v in 0..graph.num_vertices() as usize {
+                        prop_assert!(
+                            multi_ppr[v][lane].to_bits() == solo[v][0].to_bits(),
+                            "ppr lane {} (seed {}) diverged at vertex {} \
+                             ({:?}, {} threads)",
+                            lane, s, v, kind, threads
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn serving_fixture() -> (Graph, Cluster) {
+    (PowerLawConfig::new(800, 2.1).generate(21), Cluster::case2())
+}
+
+fn distribute<'a>(
+    graph: &'a Graph,
+    assignment: &'a hetgraph::partition::PartitionAssignment,
+) -> DistributedGraph<'a> {
+    DistributedGraph::new(graph, assignment).expect("assignment covers the graph")
+}
+
+#[test]
+fn queue_full_shed_is_typed_and_leaves_batches_intact() {
+    // Unit level: the typed error carries the shed context and the
+    // queued requests are untouched by the rejection.
+    let mut queue = ServeQueue::new(vec![1, 1], 2);
+    for id in 0..2 {
+        queue
+            .admit(Request {
+                id,
+                tenant: 0,
+                kind: QueryKind::Sssp { source: id as u32 },
+                arrival_s: 0.0,
+            })
+            .unwrap();
+    }
+    let err = queue
+        .admit(Request {
+            id: 2,
+            tenant: 0,
+            kind: QueryKind::Sssp { source: 2 },
+            arrival_s: 0.0,
+        })
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ServeError::QueueFull {
+            tenant: 0,
+            depth: 2,
+            budget: 2
+        }
+    );
+    let batch = queue.next_batch(8).expect("two requests queued");
+    let ids: Vec<u64> = batch.requests.iter().map(|r| r.id).collect();
+    assert_eq!(ids, [0, 1], "the shed request must not leak into a batch");
+
+    // End to end: under a tiny budget the server sheds, yet every
+    // request it did serve returns exactly the answer a solo, unshed
+    // run produces for the same query.
+    let (graph, cluster) = serving_fixture();
+    let assignment = Hybrid::new().partition(&graph, &MachineWeights::uniform(2));
+    let dist = distribute(&graph, &assignment);
+    let stream = LoadGenConfig::standard(13, 120, 0.0005).generate(graph.num_vertices());
+    let mut cfg = ServeConfig::standard(2);
+    cfg.queue_budget = 3;
+    cfg.max_batch = 4;
+    let server = Server::new(&cluster);
+    let report = server.serve(&dist, &cfg, &stream);
+    assert!(!report.shed.is_empty(), "a tiny budget must shed");
+    assert_eq!(report.served() + report.shed.len(), 120);
+    let solo_cfg = ServeConfig::standard(2);
+    for completion in report.completions.iter().take(5) {
+        let original = stream
+            .iter()
+            .find(|r| r.id == completion.id)
+            .expect("completion ids come from the stream");
+        let mut solo_request = original.clone();
+        solo_request.arrival_s = 0.0;
+        let solo = server.serve(&dist, &solo_cfg, &[solo_request]);
+        assert_eq!(
+            solo.completions[0].result, completion.result,
+            "request {} answered differently under shedding pressure",
+            completion.id
+        );
+    }
+}
+
+#[test]
+fn skewed_offered_load_is_served_within_weight_tolerance() {
+    // Two equal-weight tenants offering load 9:1. The fair scheduler
+    // must serve both proportionally to what they offer — no
+    // starvation, no amplification.
+    let (graph, cluster) = serving_fixture();
+    let assignment = Hybrid::new().partition(&graph, &MachineWeights::uniform(2));
+    let dist = distribute(&graph, &assignment);
+    let mut load = LoadGenConfig::standard(17, 2000, 0.002);
+    load.tenant_shares = vec![9, 1];
+    let stream = load.generate(graph.num_vertices());
+    let offered: Vec<usize> = (0..2)
+        .map(|t| stream.iter().filter(|r| r.tenant == t).count())
+        .collect();
+    let offered_frac = offered[0] as f64 / stream.len() as f64;
+    assert!(
+        (offered_frac - 0.9).abs() < 0.03,
+        "load generator drifted from the 9:1 draw: {offered:?}"
+    );
+    let mut cfg = ServeConfig::standard(2);
+    cfg.queue_budget = 4000; // admission out of the picture: pure scheduling
+    let report = Server::new(&cluster).serve(&dist, &cfg, &stream);
+    assert_eq!(report.served(), 2000, "nothing sheds under an open budget");
+    let served_frac = report.per_tenant_served[0] as f64 / report.served() as f64;
+    assert!(
+        (served_frac - offered_frac).abs() < 0.01,
+        "served share {served_frac:.3} drifted from offered share {offered_frac:.3}"
+    );
+}
+
+#[test]
+fn weighted_tenants_split_a_contended_backlog_by_stride() {
+    // 9:1 *weights* under a full backlog: every batch of 10 must hand
+    // nine lanes to the heavy tenant and one to the light tenant.
+    let mut queue = ServeQueue::new(vec![9, 1], 400);
+    for id in 0..400u64 {
+        queue
+            .admit(Request {
+                id,
+                tenant: (id % 2) as usize,
+                kind: QueryKind::Sssp { source: id as u32 },
+                arrival_s: 0.0,
+            })
+            .unwrap();
+    }
+    let mut served = [0u64; 2];
+    while let Some(batch) = queue.next_batch(10) {
+        for r in &batch.requests {
+            served[r.tenant] += 1;
+        }
+        // While both tenants still have backlog, the cumulative split
+        // tracks the 9:1 stride exactly (within one batch of rounding).
+        if queue.depth(0) > 0 && queue.depth(1) > 0 {
+            let ratio = served[0] as f64 / served[1].max(1) as f64;
+            assert!(
+                (6.0..=12.0).contains(&ratio),
+                "stride drifted: served {served:?}"
+            );
+        }
+    }
+    assert_eq!(served[0] + served[1], 400, "the queue must drain fully");
+}
